@@ -1,0 +1,455 @@
+package fairrank
+
+// One benchmark per table and figure of the paper's evaluation (§V),
+// plus ablation and micro benchmarks for the design choices called out
+// in DESIGN.md. The figure benchmarks run the exact experiment drivers
+// of internal/experiments with reduced sample counts so that
+// `go test -bench=.` completes quickly; cmd/experiments regenerates the
+// full-fidelity numbers (the default configs there mirror the paper).
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fairdp"
+	"repro/internal/fairness"
+	"repro/internal/ilp"
+	"repro/internal/mallows"
+	"repro/internal/perm"
+	"repro/internal/quality"
+	"repro/internal/rankdist"
+	"repro/internal/rankers"
+)
+
+// --- Figure and table benchmarks -----------------------------------------
+
+func benchFig1Config() experiments.Fig1Config {
+	cfg := experiments.DefaultFig1Config()
+	cfg.Samples = 200
+	cfg.BootstrapN = 200
+	return cfg
+}
+
+func BenchmarkFig1InfeasibleIndex(b *testing.B) {
+	cfg := benchFig1Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchScoreGapConfig() experiments.ScoreGapConfig {
+	cfg := experiments.DefaultScoreGapConfig()
+	cfg.Reps = 10
+	cfg.Samples = 10
+	cfg.BootstrapN = 200
+	return cfg
+}
+
+func BenchmarkFig2CentralII(b *testing.B) {
+	cfg := benchScoreGapConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3SampleII(b *testing.B) {
+	cfg := benchScoreGapConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4SampleNDCG(b *testing.B) {
+	cfg := benchScoreGapConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Distribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := dataset.SyntheticGermanCredit(rand.New(rand.NewSource(int64(i))))
+		tab := experiments.Table1(ds)
+		if len(tab.Rows) != 5 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+func benchGermanConfig() experiments.GermanConfig {
+	cfg := experiments.DefaultGermanConfig()
+	cfg.Sizes = []int{10, 50, 100}
+	cfg.Reps = 5
+	cfg.BootstrapN = 200
+	return cfg
+}
+
+// The German experiment produces Figs. 5, 6, and 7 in a single pass;
+// each benchmark exercises the full pass and checks its own figure.
+func benchGerman(b *testing.B, pick func(*experiments.GermanResult) *experiments.Figure) {
+	cfg := benchGermanConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.German(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig := pick(res); len(fig.Panels) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig5PPfairKnown(b *testing.B) {
+	benchGerman(b, func(r *experiments.GermanResult) *experiments.Figure { return r.Fig5 })
+}
+
+func BenchmarkFig6PPfairUnknown(b *testing.B) {
+	benchGerman(b, func(r *experiments.GermanResult) *experiments.Figure { return r.Fig6 })
+}
+
+func BenchmarkFig7NDCG(b *testing.B) {
+	benchGerman(b, func(r *experiments.GermanResult) *experiments.Figure { return r.Fig7 })
+}
+
+// BenchmarkFigE1GermanBinary covers the binary-attribute extension
+// experiment (GrBinaryIPF vs the multi-group algorithms on Sex).
+func BenchmarkFigE1GermanBinary(b *testing.B) {
+	cfg := benchGermanConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.GermanBinary(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Panels) != 2 {
+			b.Fatal("figE1 shape")
+		}
+	}
+}
+
+// --- Ablation benchmarks --------------------------------------------------
+
+// germanInstance builds the size-100 German Credit ranking instance used
+// by several ablations.
+func germanInstance(b *testing.B) rankers.Instance {
+	b.Helper()
+	ds := dataset.SyntheticGermanCredit(rand.New(rand.NewSource(1)))
+	sub, err := ds.TopByAmount(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores := quality.Scores(sub.Scores())
+	gr, err := fairness.NewGroups(sub.AgeSexAssign(), int(dataset.NumAgeSex))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := fairness.Proportional(gr, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	central, err := fairness.WeaklyFairRanking(scores, gr, cons, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rankers.Instance{Initial: central, Scores: scores, Groups: gr, Bounds: cons.Table(100)}
+}
+
+// BenchmarkAblationSampleCount measures the best-of-m trade-off of
+// Algorithm 1: wall time grows linearly in m while the NDCG of the kept
+// sample (reported as the custom metric "ndcg") saturates.
+func BenchmarkAblationSampleCount(b *testing.B) {
+	in := germanInstance(b)
+	for _, m := range []int{1, 5, 15, 50} {
+		b.Run(benchName("m", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			var total float64
+			for i := 0; i < b.N; i++ {
+				out, err := rankers.Mallows{Theta: 1, Samples: m, Criterion: rankers.SelectNDCG}.Rank(in, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, err := quality.NDCG(out, in.Scores, len(out))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += v
+			}
+			b.ReportMetric(total/float64(b.N), "ndcg")
+		})
+	}
+}
+
+// BenchmarkAblationCriterion compares the three sample-selection
+// criteria of Algorithm 1 at fixed m.
+func BenchmarkAblationCriterion(b *testing.B) {
+	in := germanInstance(b)
+	criteria := []struct {
+		name string
+		crit core.Criterion
+	}{
+		{"ndcg", core.NDCGCriterion{Scores: in.Scores}},
+		{"kt", core.KTCriterion{Reference: in.Initial}},
+		{"infeasible-index", core.FairnessCriterion{Groups: in.Groups, Constraints: mustConstraints(b, in.Groups)}},
+	}
+	for _, c := range criteria {
+		b.Run(c.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < b.N; i++ {
+				_, err := core.PostProcess(in.Initial, core.Config{Theta: 1, Samples: 15, Criterion: c.crit}, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustConstraints(b *testing.B, gr *fairness.Groups) *fairness.Constraints {
+	b.Helper()
+	c, err := fairness.Proportional(gr, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAblationRIMvsNaive compares the closed-form truncated-
+// geometric displacement draw of the RIM sampler against a linear-scan
+// inverse-CDF baseline.
+func BenchmarkAblationRIMvsNaive(b *testing.B) {
+	const n = 200
+	center := perm.Identity(n)
+	model, err := mallows.New(center, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rim-closed-form", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < b.N; i++ {
+			model.Sample(rng)
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < b.N; i++ {
+			naiveMallowsSample(center, 1, rng)
+		}
+	})
+}
+
+// naiveMallowsSample is the O(n²)-draws baseline: the same repeated
+// insertion process but with each displacement sampled by scanning the
+// cumulative geometric weights.
+func naiveMallowsSample(center perm.Perm, theta float64, rng *rand.Rand) perm.Perm {
+	n := len(center)
+	out := make(perm.Perm, 0, n)
+	q := math.Exp(-theta)
+	for j := 1; j <= n; j++ {
+		// weights q^v for v = 0…j−1
+		var z float64
+		w := 1.0
+		for v := 0; v < j; v++ {
+			z += w
+			w *= q
+		}
+		u := rng.Float64() * z
+		v := 0
+		w = 1.0
+		for u > w && v < j-1 {
+			u -= w
+			w *= q
+			v++
+		}
+		idx := j - 1 - v
+		out = append(out, 0)
+		copy(out[idx+1:], out[idx:])
+		out[idx] = center[j-1]
+	}
+	return out
+}
+
+// BenchmarkAblationNoiseSources compares the pluggable randomization
+// mechanisms (§VI future work) around the same central ranking: wall
+// time per draw plus the mean Kendall tau movement they cause, reported
+// as the custom metric "kt".
+func BenchmarkAblationNoiseSources(b *testing.B) {
+	in := germanInstance(b)
+	thetas := make([]float64, len(in.Initial))
+	for i := range thetas {
+		thetas[i] = 2 * math.Pow(0.97, float64(i))
+	}
+	sources := []core.Noise{
+		core.MallowsNoise{Theta: 1},
+		core.GeneralizedMallowsNoise{Thetas: thetas},
+		core.PlackettLuceNoise{Strength: 0.1},
+		core.AdjacentSwapNoise{Swaps: 60},
+	}
+	for _, src := range sources {
+		b.Run(src.Name(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			draw, err := src.Sampler(in.Initial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var totalKT float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := draw(rng)
+				d, err := rankdist.KendallTau(p, in.Initial)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalKT += float64(d)
+			}
+			b.ReportMetric(totalKT/float64(b.N), "kt")
+		})
+	}
+}
+
+// BenchmarkAblationDPvsILP compares the two exact solvers of the §IV-B
+// program on identical instances (the simplex branch-and-bound is only
+// viable at small sizes; the DP is the production path).
+func BenchmarkAblationDPvsILP(b *testing.B) {
+	ds := dataset.SyntheticGermanCredit(rand.New(rand.NewSource(5)))
+	sub, err := ds.TopByAmount(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores := quality.Scores(sub.Scores())
+	gr, err := fairness.NewGroups(sub.AgeSexAssign(), int(dataset.NumAgeSex))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := fairness.Proportional(gr, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	central, err := fairness.WeaklyFairRanking(scores, gr, cons, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := rankers.Instance{Initial: central, Scores: scores, Groups: gr, Bounds: cons.Table(10)}
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (rankers.ILPRanker{Backend: rankers.DP}).Rank(in, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simplex-bb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (rankers.ILPRanker{Backend: rankers.SimplexBB}).Rank(in, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Micro benchmarks -----------------------------------------------------
+
+// BenchmarkMallowsSample compares the two exact samplers. The insertion
+// sampler's cost tracks the expected displacement (≈ E[d_KT]): linear
+// in n for fixed θ > 0, quadratic as θ → 0, where the Fenwick-tree
+// sampler's O(n log n) takes over.
+func BenchmarkMallowsSample(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, theta := range []float64{0, 1} {
+			model, err := mallows.New(perm.Identity(n), theta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			suffix := benchName("n", n) + "/" + benchName("theta10x", int(theta*10))
+			b.Run("insert/"+suffix, func(b *testing.B) {
+				rng := rand.New(rand.NewSource(6))
+				for i := 0; i < b.N; i++ {
+					model.Sample(rng)
+				}
+			})
+			b.Run("fenwick/"+suffix, func(b *testing.B) {
+				rng := rand.New(rand.NewSource(6))
+				for i := 0; i < b.N; i++ {
+					model.SampleFast(rng)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKendallTau(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			p, q := perm.Random(n, rng), perm.Random(n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rankdist.KendallTau(p, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFairDPSize100(b *testing.B) {
+	in := germanInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fairdp.Solve(in.Scores, in.Groups, in.Bounds, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHungarianViaIPF(b *testing.B) {
+	in := germanInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (rankers.ApproxMultiValuedIPF{}).Rank(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexLP(b *testing.B) {
+	// A moderately sized dense LP: 60 variables, 40 constraints.
+	rng := rand.New(rand.NewSource(8))
+	const nv, nc = 60, 40
+	obj := make([]float64, nv)
+	for j := range obj {
+		obj[j] = rng.Float64()
+	}
+	cons := make([]ilp.Constraint, nc)
+	for i := range cons {
+		coeffs := make([]float64, nv)
+		for j := range coeffs {
+			coeffs[j] = rng.Float64()
+		}
+		cons[i] = ilp.Constraint{Coeffs: coeffs, Rel: ilp.LE, RHS: 5 + rng.Float64()*10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := ilp.SolveLP(obj, cons)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != ilp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,179 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) and writes them as text and CSV into an output
+// directory.
+//
+// Usage:
+//
+//	experiments [-out results] [-quick] [-only fig1,fig2,...]
+//
+// -quick shrinks sample counts for a fast smoke run; the default
+// configuration mirrors the paper (bootstrap n=1000, 15 repetitions,
+// ranking sizes 10…100).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "shrink sample counts for a fast smoke run")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,fig4,german,germanbinary")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	run := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	if run("fig1") {
+		cfg := experiments.DefaultFig1Config()
+		if *quick {
+			cfg.Samples = 200
+			cfg.BootstrapN = 200
+		}
+		step("fig1", func() error {
+			fig, err := experiments.Fig1(cfg)
+			if err != nil {
+				return err
+			}
+			return writeFigure(*out, fig)
+		})
+	}
+	if run("fig2") || run("fig3") || run("fig4") {
+		cfg := experiments.DefaultScoreGapConfig()
+		if *quick {
+			cfg.Reps = 15
+			cfg.Samples = 10
+			cfg.BootstrapN = 200
+		}
+		if run("fig2") {
+			step("fig2", func() error {
+				fig, err := experiments.Fig2(cfg)
+				if err != nil {
+					return err
+				}
+				return writeFigure(*out, fig)
+			})
+		}
+		if run("fig3") {
+			step("fig3", func() error {
+				fig, err := experiments.Fig3(cfg)
+				if err != nil {
+					return err
+				}
+				return writeFigure(*out, fig)
+			})
+		}
+		if run("fig4") {
+			step("fig4", func() error {
+				fig, err := experiments.Fig4(cfg)
+				if err != nil {
+					return err
+				}
+				return writeFigure(*out, fig)
+			})
+		}
+	}
+	if run("german") {
+		cfg := experiments.DefaultGermanConfig()
+		if *quick {
+			cfg.Sizes = []int{10, 30, 50}
+			cfg.Reps = 5
+			cfg.BootstrapN = 200
+		}
+		step("german (table1 + figs 5-7)", func() error {
+			res, err := experiments.German(cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeTable(*out, res.TableI); err != nil {
+				return err
+			}
+			for _, fig := range []*experiments.Figure{res.Fig5, res.Fig6, res.Fig7} {
+				if err := writeFigure(*out, fig); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if run("germanbinary") {
+		cfg := experiments.DefaultGermanConfig()
+		if *quick {
+			cfg.Sizes = []int{10, 30, 50}
+			cfg.Reps = 5
+			cfg.BootstrapN = 200
+		}
+		step("german-binary extension (figE1)", func() error {
+			fig, err := experiments.GermanBinary(cfg)
+			if err != nil {
+				return err
+			}
+			return writeFigure(*out, fig)
+		})
+	}
+	log.Printf("results written to %s", *out)
+}
+
+func step(name string, fn func() error) {
+	start := time.Now()
+	log.Printf("running %s …", name)
+	if err := fn(); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	log.Printf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
+}
+
+func writeFigure(dir string, fig *experiments.Figure) error {
+	if err := writeTo(filepath.Join(dir, fig.ID+".txt"), fig.WriteText); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, fig.ID+".csv"), fig.WriteCSV); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, fig.ID+".chart.txt"), fig.WriteCharts); err != nil {
+		return err
+	}
+	// Also echo the text rendering to stdout for interactive runs.
+	return fig.WriteText(os.Stdout)
+}
+
+func writeTable(dir string, tab *experiments.Table) error {
+	if err := writeTo(filepath.Join(dir, tab.ID+".txt"), tab.WriteText); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, tab.ID+".csv"), tab.WriteCSV); err != nil {
+		return err
+	}
+	return tab.WriteText(os.Stdout)
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,35 @@
+// Package fairrank post-processes rankings for proportionate fairness,
+// implementing "Fairness in Ranking: Robustness through Randomization
+// without the Protected Attribute" (Kliachkin, Psaroudaki, Mareček,
+// Fotakis; ICDE 2024) together with the baselines it evaluates.
+//
+// The headline method admixes Mallows noise to a ranking: sample m
+// permutations from a Mallows distribution centred on a (weakly fair)
+// baseline ranking and keep the best under a quality criterion. The
+// mechanism never reads the protected attribute, so the fairness it
+// induces is robust to attributes that are unknown at ranking time.
+//
+// # Quick start
+//
+//	candidates := []fairrank.Candidate{
+//		{ID: "alice", Score: 9.1, Group: "f"},
+//		{ID: "bob", Score: 8.7, Group: "m"},
+//		// …
+//	}
+//	ranked, err := fairrank.Rank(candidates, fairrank.Config{
+//		Algorithm: fairrank.AlgorithmMallowsBest,
+//		Theta:     1,
+//		Samples:   15,
+//		Seed:      42,
+//	})
+//
+// Alongside the Mallows mechanism the package exposes the evaluated
+// baselines (DetConstSort, ApproxMultiValuedIPF, GrBinaryIPF, and the
+// exact DCG-optimal fair ranking of the paper's ILP) and the metrics of
+// the evaluation: NDCG, Kendall tau, the Two-Sided Infeasible Index and
+// the percentage of P-fair positions.
+//
+// Implementation lives under internal/; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of every table and
+// figure.
+package fairrank

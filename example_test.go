@@ -1,0 +1,103 @@
+package fairrank_test
+
+import (
+	"fmt"
+	"log"
+
+	fairrank "repro"
+)
+
+// The candidates of the worked example: screening scores favour group
+// "m", so the score order buries group "f".
+func examplePool() []fairrank.Candidate {
+	return []fairrank.Candidate{
+		{ID: "ava", Score: 5.2, Group: "f"},
+		{ID: "bea", Score: 5.1, Group: "f"},
+		{ID: "cleo", Score: 4.8, Group: "f"},
+		{ID: "dina", Score: 4.2, Group: "f"},
+		{ID: "emil", Score: 9.9, Group: "m"},
+		{ID: "finn", Score: 9.5, Group: "m"},
+		{ID: "gus", Score: 9.1, Group: "m"},
+		{ID: "hank", Score: 8.8, Group: "m"},
+	}
+}
+
+func ExampleRank() {
+	// Center the Mallows noise on the DCG-optimal fair ranking and keep
+	// the sample closest to it: strong prefix fairness, tiny quality cost.
+	ranked, err := fairrank.Rank(examplePool(), fairrank.Config{
+		Algorithm: fairrank.AlgorithmMallowsBest,
+		Central:   fairrank.CentralFairDCG,
+		Criterion: fairrank.CriterionKT,
+		Theta:     2,
+		Samples:   15,
+		Tolerance: 0.15,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Printf("%d. %s (%s)\n", i+1, ranked[i].ID, ranked[i].Group)
+	}
+	// Output:
+	// 1. emil (m)
+	// 2. finn (m)
+	// 3. ava (f)
+	// 4. gus (m)
+}
+
+func ExampleRank_ilp() {
+	// The paper's §IV-B program: the DCG-optimal ranking whose every
+	// prefix respects the proportional bounds.
+	ranked, err := fairrank.Rank(examplePool(), fairrank.Config{
+		Algorithm: fairrank.AlgorithmILP,
+		Tolerance: 0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp, err := fairrank.PPfair(ranked, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PPfair = %.0f%%\n", pp)
+	// Output:
+	// PPfair = 100%
+}
+
+func ExamplePPfairTopK() {
+	byScore, err := fairrank.Rank(examplePool(), fairrank.Config{
+		Algorithm: fairrank.AlgorithmScoreSorted,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The score order's top 4 is all group "m".
+	pp, err := fairrank.PPfairTopK(byScore, 4, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shortlist PPfair = %.0f%%\n", pp)
+	// Output:
+	// shortlist PPfair = 0%
+}
+
+func ExampleKendallTau() {
+	pool := examplePool()
+	byScore, err := fairrank.Rank(pool, fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fair, err := fairrank.Rank(pool, fairrank.Config{Algorithm: fairrank.AlgorithmILP, Tolerance: 0.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := fairrank.KendallTau(fair, byScore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fairness cost: %d discordant pairs\n", d)
+	// Output:
+	// fairness cost: 2 discordant pairs
+}

@@ -1,0 +1,77 @@
+// Credit ranking on the German Credit dataset: the paper's §V-C
+// scenario end to end. Applicants are ranked by credit amount under
+// representation constraints on the known Age–Sex attribute, and the
+// result is audited against the Housing attribute, which no algorithm
+// was allowed to see — the paper's "unknown protected attribute".
+//
+// Run with:
+//
+//	go run ./examples/creditranking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	fairrank "repro"
+	"repro/internal/dataset"
+)
+
+const (
+	rankingSize = 50
+	tolerance   = 0.1
+)
+
+func main() {
+	// Synthetic German Credit: Table I joint distribution, lognormal
+	// credit amounts (see DESIGN.md for the substitution rationale).
+	ds := dataset.SyntheticGermanCredit(rand.New(rand.NewSource(1)))
+	top, err := ds.TopByAmount(rankingSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := make([]fairrank.Candidate, top.Len())
+	for i, r := range top.Records {
+		pool[i] = fairrank.Candidate{
+			ID:    fmt.Sprintf("applicant-%03d", r.ID),
+			Score: r.CreditAmount,
+			Group: r.AgeSex.String(),
+			Attrs: map[string]string{"housing": r.Housing.String()},
+		}
+	}
+
+	fmt.Printf("ranking %d applicants, constraints on Age-Sex, audit on Housing\n\n", rankingSize)
+	fmt.Printf("%-22s  %-7s  %-14s  %s\n", "algorithm", "NDCG", "PPfair(known)", "PPfair(housing, unseen)")
+	configs := []struct {
+		name string
+		cfg  fairrank.Config
+	}{
+		{"score order", fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted}},
+		{"detconstsort", fairrank.Config{Algorithm: fairrank.AlgorithmDetConstSort, Tolerance: tolerance}},
+		{"detconstsort σ=1", fairrank.Config{Algorithm: fairrank.AlgorithmDetConstSort, Tolerance: tolerance, Sigma: 1, Seed: 3}},
+		{"ilp (dcg-optimal)", fairrank.Config{Algorithm: fairrank.AlgorithmILP, Tolerance: tolerance}},
+		{"mallows best-of-15", fairrank.Config{Algorithm: fairrank.AlgorithmMallowsBest, Theta: 1, Samples: 15, Tolerance: tolerance, Seed: 3}},
+	}
+	for _, c := range configs {
+		ranked, err := fairrank.Rank(pool, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ndcg, err := fairrank.NDCG(ranked)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppKnown, err := fairrank.PPfair(ranked, tolerance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppHidden, err := fairrank.PPfairByAttr(ranked, "housing", tolerance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s  %-7.4f  %-14.1f  %.1f\n", c.name, ndcg, ppKnown, ppHidden)
+	}
+	fmt.Println("\nThe Mallows mechanism never read either attribute; its fairness")
+	fmt.Println("on Housing is a property of the randomization, not of constraints.")
+}

@@ -1,0 +1,402 @@
+package fairrank
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fairdp"
+	"repro/internal/fairness"
+	"repro/internal/perm"
+	"repro/internal/quality"
+	"repro/internal/rankers"
+)
+
+// Candidate is one item to rank.
+type Candidate struct {
+	// ID identifies the candidate; must be unique and nonempty.
+	ID string
+	// Score is the quality/relevance score (higher ranks first).
+	Score float64
+	// Group is the protected attribute value used for fairness
+	// constraints. All candidates must carry a nonempty Group when a
+	// constraint-based algorithm runs; the Mallows algorithms never read
+	// it.
+	Group string
+	// Attrs carries additional attribute values for evaluation, e.g.
+	// attributes withheld from the ranking algorithms (see PPfairByAttr).
+	Attrs map[string]string
+}
+
+// Algorithm selects the post-processing method.
+type Algorithm string
+
+// The available post-processors.
+const (
+	// AlgorithmMallows draws a single Mallows sample around the weakly
+	// fair central ranking (the paper's Algorithm 1 with m = 1).
+	AlgorithmMallows Algorithm = "mallows"
+	// AlgorithmMallowsBest draws Samples Mallows draws and keeps the one
+	// with the highest NDCG (Algorithm 1 with the NDCG criterion).
+	AlgorithmMallowsBest Algorithm = "mallows-best"
+	// AlgorithmDetConstSort runs Geyik et al.'s DetConstSort.
+	AlgorithmDetConstSort Algorithm = "detconstsort"
+	// AlgorithmIPF runs Wei et al.'s ApproxMultiValuedIPF
+	// (footrule-optimal fair ranking).
+	AlgorithmIPF Algorithm = "ipf"
+	// AlgorithmGrBinary runs Wei et al.'s GrBinaryIPF (Kendall-tau
+	// optimal; requires exactly two groups).
+	AlgorithmGrBinary Algorithm = "grbinary"
+	// AlgorithmILP computes the DCG-optimal (α,β)-fair ranking of the
+	// paper's §IV-B integer program (solved exactly).
+	AlgorithmILP Algorithm = "ilp"
+	// AlgorithmScoreSorted ranks purely by score (no fairness).
+	AlgorithmScoreSorted Algorithm = "score"
+)
+
+// Central selects the ranking the Mallows mechanism randomizes around
+// (§IV-A: "the central ranking could be either the result of a rank
+// aggregation problem or any ranking in general").
+type Central string
+
+// The available central rankings.
+const (
+	// CentralWeaklyFair is the paper's default: candidates in descending
+	// score order, with the top-WeakK set adjusted to weak k-fairness.
+	CentralWeaklyFair Central = "weak"
+	// CentralFairDCG centres the noise on the DCG-optimal (α,β)-fair
+	// ranking (the §IV-B program). Every prefix of the central satisfies
+	// the constraints, so moderate noise keeps strong per-prefix
+	// fairness even when scores are heavily group-biased, while the
+	// randomization still hedges attributes the constraints never saw.
+	CentralFairDCG Central = "fair"
+	// CentralScoreOrder centres on the raw score order (no fairness in
+	// the central; all fairness comes from the noise).
+	CentralScoreOrder Central = "score"
+)
+
+// Criterion selects among Mallows samples (Algorithm 1's choose_ranking).
+type Criterion string
+
+// The available selection criteria.
+const (
+	// CriterionNDCG keeps the sample with the highest NDCG.
+	CriterionNDCG Criterion = "ndcg"
+	// CriterionKT keeps the sample with the smallest Kendall tau
+	// distance to the central ranking.
+	CriterionKT Criterion = "kt"
+)
+
+// Config parameterizes Rank. The zero value is usable: it runs
+// AlgorithmMallowsBest with the defaults below.
+type Config struct {
+	// Algorithm defaults to AlgorithmMallowsBest.
+	Algorithm Algorithm
+	// Central picks the Mallows central ranking; defaults to
+	// CentralWeaklyFair. Only the Mallows algorithms read it.
+	Central Central
+	// Criterion picks how AlgorithmMallowsBest selects among samples:
+	// CriterionNDCG (default) keeps the highest-quality sample,
+	// CriterionKT the sample closest to the central ranking — the right
+	// choice when the central is already fair (CentralFairDCG) and the
+	// noise is there for robustness, not quality recovery.
+	Criterion Criterion
+	// Theta is the Mallows dispersion (default 1).
+	Theta float64
+	// Samples is the best-of-m draw count (default 15).
+	Samples int
+	// Tolerance widens the proportional representation constraints: each
+	// group's prefix share must stay within its overall share ±
+	// Tolerance. Default 0.1.
+	Tolerance float64
+	// WeakK is the prefix length of the weakly fair central ranking
+	// (default min(10, number of candidates)).
+	WeakK int
+	// Sigma adds Gaussian noise to the representation constraints of the
+	// attribute-aware algorithms, reproducing the paper's imperfect-
+	// knowledge setting. Default 0.
+	Sigma float64
+	// Seed seeds the randomness; runs with equal seeds are identical.
+	Seed int64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgorithmMallowsBest
+	}
+	if c.Central == "" {
+		c.Central = CentralWeaklyFair
+	}
+	if c.Criterion == "" {
+		c.Criterion = CriterionNDCG
+	}
+	if c.Theta == 0 {
+		c.Theta = 1
+	}
+	if c.Samples == 0 {
+		c.Samples = 15
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.1
+	}
+	if c.WeakK == 0 {
+		c.WeakK = 10
+		if n < 10 {
+			c.WeakK = n
+		}
+	}
+	return c
+}
+
+// Rank post-processes candidates into a fair ranking with the configured
+// algorithm and returns them in ranked order (best first). The input
+// slice is not modified.
+func Rank(candidates []Candidate, cfg Config) ([]Candidate, error) {
+	in, err := buildInstance(candidates, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(candidates))
+	var ranker rankers.Ranker
+	switch cfg.Algorithm {
+	case AlgorithmMallows:
+		ranker = rankers.Mallows{Theta: cfg.Theta, Samples: 1, Criterion: rankers.SelectFirst}
+	case AlgorithmMallowsBest:
+		crit := rankers.SelectNDCG
+		switch cfg.Criterion {
+		case CriterionNDCG:
+		case CriterionKT:
+			crit = rankers.SelectKT
+		default:
+			return nil, fmt.Errorf("fairrank: unknown criterion %q", cfg.Criterion)
+		}
+		ranker = rankers.Mallows{Theta: cfg.Theta, Samples: cfg.Samples, Criterion: crit}
+	case AlgorithmDetConstSort:
+		ranker = rankers.DetConstSort{Sigma: cfg.Sigma}
+	case AlgorithmIPF:
+		ranker = rankers.ApproxMultiValuedIPF{Sigma: cfg.Sigma}
+	case AlgorithmGrBinary:
+		ranker = rankers.GrBinaryIPF{}
+	case AlgorithmILP:
+		ranker = rankers.ILPRanker{Sigma: cfg.Sigma}
+	case AlgorithmScoreSorted:
+		ranker = rankers.ScoreSorted{}
+	default:
+		return nil, fmt.Errorf("fairrank: unknown algorithm %q", cfg.Algorithm)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out, err := ranker.Rank(in, rng)
+	if err != nil {
+		return nil, fmt.Errorf("fairrank: %s: %w", ranker.Name(), err)
+	}
+	ranked := make([]Candidate, len(out))
+	for r, item := range out {
+		ranked[r] = candidates[item]
+	}
+	return ranked, nil
+}
+
+// buildInstance validates the candidates and assembles the internal
+// ranking instance: groups from the distinct Group strings (sorted for
+// determinism), proportional constraints widened by cfg.Tolerance, and
+// the weakly fair central ranking.
+func buildInstance(candidates []Candidate, cfg Config) (rankers.Instance, error) {
+	cfg = cfg.withDefaults(len(candidates))
+	if len(candidates) == 0 {
+		return rankers.Instance{}, fmt.Errorf("fairrank: no candidates")
+	}
+	if cfg.Tolerance < 0 {
+		return rankers.Instance{}, fmt.Errorf("fairrank: negative tolerance %v", cfg.Tolerance)
+	}
+	seen := make(map[string]bool, len(candidates))
+	groupIDs := map[string]int{}
+	var groupNames []string
+	for i, c := range candidates {
+		if c.ID == "" {
+			return rankers.Instance{}, fmt.Errorf("fairrank: candidate %d has empty ID", i)
+		}
+		if seen[c.ID] {
+			return rankers.Instance{}, fmt.Errorf("fairrank: duplicate candidate ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Group == "" {
+			return rankers.Instance{}, fmt.Errorf("fairrank: candidate %q has empty Group", c.ID)
+		}
+		if _, ok := groupIDs[c.Group]; !ok {
+			groupIDs[c.Group] = 0
+			groupNames = append(groupNames, c.Group)
+		}
+	}
+	sort.Strings(groupNames)
+	for i, name := range groupNames {
+		groupIDs[name] = i
+	}
+	assign := make([]int, len(candidates))
+	scores := make(quality.Scores, len(candidates))
+	for i, c := range candidates {
+		assign[i] = groupIDs[c.Group]
+		scores[i] = c.Score
+	}
+	gr, err := fairness.NewGroups(assign, len(groupNames))
+	if err != nil {
+		return rankers.Instance{}, err
+	}
+	cons, err := fairness.Proportional(gr, cfg.Tolerance)
+	if err != nil {
+		return rankers.Instance{}, err
+	}
+	var central perm.Perm
+	switch cfg.Central {
+	case CentralWeaklyFair:
+		central, err = fairness.WeaklyFairRanking(scores, gr, cons, cfg.WeakK)
+	case CentralFairDCG:
+		central, _, err = fairdp.Solve(scores, gr, cons.Table(len(candidates)), nil)
+	case CentralScoreOrder:
+		central = quality.Ideal(perm.Identity(len(candidates)), scores)
+	default:
+		return rankers.Instance{}, fmt.Errorf("fairrank: unknown central ranking %q", cfg.Central)
+	}
+	if err != nil {
+		return rankers.Instance{}, fmt.Errorf("fairrank: building central ranking: %w", err)
+	}
+	return rankers.Instance{
+		Initial: central,
+		Scores:  scores,
+		Groups:  gr,
+		Bounds:  cons.Table(len(candidates)),
+	}, nil
+}
+
+// NDCG returns the normalized discounted cumulative gain of the ranked
+// candidates against the score-ideal order of the same candidates.
+func NDCG(ranked []Candidate) (float64, error) {
+	scores := make(quality.Scores, len(ranked))
+	for i, c := range ranked {
+		scores[i] = c.Score
+	}
+	return quality.NDCG(perm.Identity(len(ranked)), scores, len(ranked))
+}
+
+// KendallTau returns the number of candidate pairs on which the two
+// rankings disagree. Both must rank exactly the same candidate IDs.
+func KendallTau(a, b []Candidate) (int64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("fairrank: rankings of size %d vs %d", len(a), len(b))
+	}
+	posB := make(map[string]int, len(b))
+	for r, c := range b {
+		if _, dup := posB[c.ID]; dup {
+			return 0, fmt.Errorf("fairrank: duplicate ID %q", c.ID)
+		}
+		posB[c.ID] = r
+	}
+	rel := make(perm.Perm, len(a))
+	for r, c := range a {
+		p, ok := posB[c.ID]
+		if !ok {
+			return 0, fmt.Errorf("fairrank: candidate %q missing from second ranking", c.ID)
+		}
+		rel[r] = p
+	}
+	if err := rel.Validate(); err != nil {
+		return 0, fmt.Errorf("fairrank: rankings disagree on the candidate set: %w", err)
+	}
+	return rel.InversionCount(), nil
+}
+
+// PPfair returns the percentage of P-fair positions (Definition 4 of the
+// paper) of the ranked candidates with respect to their Group attribute,
+// under proportional constraints widened by tol.
+func PPfair(ranked []Candidate, tol float64) (float64, error) {
+	groups := make([]string, len(ranked))
+	for i, c := range ranked {
+		groups[i] = c.Group
+	}
+	return ppfairOf(ranked, groups, tol)
+}
+
+// PPfairTopK is PPfair restricted to the first k prefixes — the natural
+// audit when only a shortlist of the ranking is consumed. Constraints
+// are still proportional to the groups of the whole ranked pool.
+func PPfairTopK(ranked []Candidate, k int, tol float64) (float64, error) {
+	groups := make([]string, len(ranked))
+	for i, c := range ranked {
+		groups[i] = c.Group
+	}
+	gr, cons, err := groupsAndConstraints(groups, tol)
+	if err != nil {
+		return 0, err
+	}
+	return fairness.PPfairAt(perm.Identity(len(ranked)), gr, cons, k)
+}
+
+// PPfairByAttr is PPfair evaluated against an attribute from
+// Candidate.Attrs instead of Group — the paper's "unknown protected
+// attribute" evaluation. Every candidate must carry the attribute.
+func PPfairByAttr(ranked []Candidate, attr string, tol float64) (float64, error) {
+	groups := make([]string, len(ranked))
+	for i, c := range ranked {
+		v, ok := c.Attrs[attr]
+		if !ok || v == "" {
+			return 0, fmt.Errorf("fairrank: candidate %q lacks attribute %q", c.ID, attr)
+		}
+		groups[i] = v
+	}
+	return ppfairOf(ranked, groups, tol)
+}
+
+// InfeasibleIndex returns the Two-Sided Infeasible Index (Definition 3)
+// of the ranked candidates with respect to their Group attribute.
+func InfeasibleIndex(ranked []Candidate, tol float64) (int, error) {
+	groups := make([]string, len(ranked))
+	for i, c := range ranked {
+		groups[i] = c.Group
+	}
+	gr, cons, err := groupsAndConstraints(groups, tol)
+	if err != nil {
+		return 0, err
+	}
+	return fairness.TwoSidedInfeasibleIndex(perm.Identity(len(ranked)), gr, cons)
+}
+
+func ppfairOf(ranked []Candidate, groups []string, tol float64) (float64, error) {
+	gr, cons, err := groupsAndConstraints(groups, tol)
+	if err != nil {
+		return 0, err
+	}
+	return fairness.PPfair(perm.Identity(len(ranked)), gr, cons)
+}
+
+func groupsAndConstraints(groups []string, tol float64) (*fairness.Groups, *fairness.Constraints, error) {
+	if len(groups) == 0 {
+		return nil, nil, fmt.Errorf("fairrank: empty ranking")
+	}
+	ids := map[string]int{}
+	var names []string
+	for i, g := range groups {
+		if g == "" {
+			return nil, nil, fmt.Errorf("fairrank: candidate %d has empty group", i)
+		}
+		if _, ok := ids[g]; !ok {
+			ids[g] = 0
+			names = append(names, g)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		ids[n] = i
+	}
+	assign := make([]int, len(groups))
+	for i, g := range groups {
+		assign[i] = ids[g]
+	}
+	gr, err := fairness.NewGroups(assign, len(names))
+	if err != nil {
+		return nil, nil, err
+	}
+	cons, err := fairness.Proportional(gr, tol)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gr, cons, nil
+}

@@ -1,0 +1,119 @@
+// Package assignment solves the minimum-cost bipartite perfect matching
+// (assignment) problem with the Hungarian algorithm in its O(n³)
+// shortest-augmenting-path formulation with dual potentials.
+//
+// It is the substrate for ApproxMultiValuedIPF (Wei et al., SIGMOD'22),
+// which computes a footrule-optimal P-fair ranking as a min-cost matching
+// between candidates and positions; infeasible candidate/position pairs
+// are modelled as +Inf edges.
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forbidden marks an edge that must not be used.
+var Forbidden = math.Inf(1)
+
+// Solve returns, for the square cost matrix, the column assigned to each
+// row under a minimum-total-cost perfect matching, together with the
+// total cost. Entries equal to +Inf are forbidden; if no perfect
+// matching over finite edges exists, Solve reports ErrInfeasible.
+func Solve(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("assignment: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return nil, 0, fmt.Errorf("assignment: cost[%d][%d] is NaN", i, j)
+			}
+			if math.IsInf(v, -1) {
+				return nil, 0, fmt.Errorf("assignment: cost[%d][%d] is -Inf", i, j)
+			}
+		}
+	}
+	if n == 0 {
+		return []int{}, 0, nil
+	}
+
+	// 1-indexed duals and matching, following the classic formulation:
+	// p[j] is the row matched to column j (0 = unmatched sentinel row).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	a := func(i, j int) float64 { return cost[i-1][j-1] }
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				// No augmenting path over finite edges.
+				return nil, 0, ErrInfeasible
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	match := make([]int, n)
+	var total float64
+	for j := 1; j <= n; j++ {
+		match[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	if math.IsInf(total, 1) {
+		return nil, 0, ErrInfeasible
+	}
+	return match, total, nil
+}
+
+// ErrInfeasible reports that no perfect matching over finite-cost edges
+// exists.
+var ErrInfeasible = errInfeasible{}
+
+type errInfeasible struct{}
+
+func (errInfeasible) Error() string { return "no perfect matching over finite-cost edges" }

@@ -1,0 +1,150 @@
+package assignment
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMatch enumerates all assignments; returns min cost (+Inf if none
+// finite).
+func bruteMatch(cost [][]float64) float64 {
+	n := len(cost)
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int, acc float64)
+	rec = func(k int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if k == n {
+			best = acc
+			return
+		}
+		for i := k; i < n; i++ {
+			cols[k], cols[i] = cols[i], cols[k]
+			if !math.IsInf(cost[k][cols[k]], 1) {
+				rec(k+1, acc+cost[k][cols[k]])
+			}
+			cols[k], cols[i] = cols[i], cols[k]
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestSolveKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: row0→col1 (1), row1→col0 (2), row2→col2 (2) = 5.
+	if total != 5 {
+		t.Fatalf("total = %v, want 5", total)
+	}
+	if match[0] != 1 || match[1] != 0 || match[2] != 2 {
+		t.Fatalf("match = %v", match)
+	}
+}
+
+func TestSolveAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(7)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				if rng.Float64() < 0.15 {
+					cost[i][j] = Forbidden
+				} else {
+					cost[i][j] = math.Round(rng.Float64()*1000) / 10
+				}
+			}
+		}
+		want := bruteMatch(cost)
+		match, total, err := Solve(cost)
+		if math.IsInf(want, 1) {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("brute infeasible but Solve gave %v, %v, %v", match, total, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("brute %v but Solve errored: %v", want, err)
+		}
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("total = %v, want %v (cost=%v)", total, want, cost)
+		}
+		// match must be a permutation and cost must re-add to total.
+		seen := make([]bool, n)
+		var re float64
+		for i, j := range match {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("match not a permutation: %v", match)
+			}
+			seen[j] = true
+			re += cost[i][j]
+		}
+		if math.Abs(re-total) > 1e-9 {
+			t.Fatalf("re-added cost %v, reported %v", re, total)
+		}
+	}
+}
+
+func TestSolveNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Fatalf("total = %v, want -10", total)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	inf := Forbidden
+	cost := [][]float64{
+		{inf, inf},
+		{1, 2},
+	}
+	if _, _, err := Solve(cost); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}}); err == nil {
+		t.Error("accepted non-square matrix")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("accepted NaN cost")
+	}
+	if _, _, err := Solve([][]float64{{math.Inf(-1)}}); err == nil {
+		t.Error("accepted -Inf cost")
+	}
+}
+
+func TestSolveEmptyAndSingleton(t *testing.T) {
+	match, total, err := Solve(nil)
+	if err != nil || len(match) != 0 || total != 0 {
+		t.Fatalf("empty solve = %v, %v, %v", match, total, err)
+	}
+	match, total, err = Solve([][]float64{{7}})
+	if err != nil || match[0] != 0 || total != 7 {
+		t.Fatalf("singleton solve = %v, %v, %v", match, total, err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package candidatecsv reads and writes the candidate CSV format of the
+// fairrank CLI: a header `id,score,group` followed by one row per
+// candidate; any extra header columns become evaluation attributes
+// (Candidate.Attrs).
+package candidatecsv
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	fairrank "repro"
+)
+
+// Read parses candidates and returns them together with the names of
+// the extra attribute columns (in header order).
+func Read(r io.Reader) ([]fairrank.Candidate, []string, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("candidatecsv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("candidatecsv: need a header and at least one candidate")
+	}
+	head := rows[0]
+	if len(head) < 3 || head[0] != "id" || head[1] != "score" || head[2] != "group" {
+		return nil, nil, fmt.Errorf("candidatecsv: header must start with id,score,group; got %v", head)
+	}
+	extra := head[3:]
+	out := make([]fairrank.Candidate, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		if len(row) != len(head) {
+			return nil, nil, fmt.Errorf("candidatecsv: row %d has %d fields, want %d", n+1, len(row), len(head))
+		}
+		score, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("candidatecsv: row %d score: %w", n+1, err)
+		}
+		c := fairrank.Candidate{ID: row[0], Score: score, Group: row[2]}
+		if len(extra) > 0 {
+			c.Attrs = make(map[string]string, len(extra))
+			for i, name := range extra {
+				c.Attrs[name] = row[3+i]
+			}
+		}
+		out = append(out, c)
+	}
+	return out, extra, nil
+}
+
+// Write renders ranked candidates with a 1-based rank column, echoing
+// the extra attribute columns in the given order.
+func Write(w io.Writer, ranked []fairrank.Candidate, extra []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"rank", "id", "score", "group"}, extra...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("candidatecsv: %w", err)
+	}
+	for r, c := range ranked {
+		row := []string{
+			strconv.Itoa(r + 1), c.ID,
+			strconv.FormatFloat(c.Score, 'g', -1, 64), c.Group,
+		}
+		for _, name := range extra {
+			row = append(row, c.Attrs[name])
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("candidatecsv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("candidatecsv: %w", err)
+	}
+	return nil
+}

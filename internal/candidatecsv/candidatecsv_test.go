@@ -1,0 +1,89 @@
+package candidatecsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	fairrank "repro"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "id,score,group\nalice,9.5,f\nbob,8,m\n"
+	cands, extra, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extra) != 0 {
+		t.Fatalf("extra = %v", extra)
+	}
+	if len(cands) != 2 || cands[0].ID != "alice" || cands[0].Score != 9.5 || cands[1].Group != "m" {
+		t.Fatalf("cands = %+v", cands)
+	}
+}
+
+func TestReadWithAttrs(t *testing.T) {
+	in := "id,score,group,region,tier\na,1,g1,north,gold\nb,2,g2,south,silver\n"
+	cands, extra, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extra) != 2 || extra[0] != "region" || extra[1] != "tier" {
+		t.Fatalf("extra = %v", extra)
+	}
+	if cands[0].Attrs["region"] != "north" || cands[1].Attrs["tier"] != "silver" {
+		t.Fatalf("attrs = %+v", cands)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"id,score,group\n",
+		"foo,bar,baz\nx,1,g\n",
+		"id,score\nx,1\n",
+		"id,score,group\nx,notanumber,g\n",
+		"id,score,group,extra\nx,1,g\n",
+	}
+	for i, c := range cases {
+		if _, _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted malformed input", i)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	cands := []fairrank.Candidate{
+		{ID: "x", Score: 3.25, Group: "a", Attrs: map[string]string{"city": "oslo"}},
+		{ID: "y", Score: 1, Group: "b", Attrs: map[string]string{"city": "bergen"}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cands, []string{"city"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "rank,id,score,group,city\n1,x,3.25,a,oslo\n2,y,1,b,bergen\n"
+	if out != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestReadWritePipeline(t *testing.T) {
+	in := "id,score,group\nc1,5,g1\nc2,4,g2\nc3,3,g1\nc4,2,g2\n"
+	cands, extra, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := fairrank.Rank(cands, fairrank.Config{Algorithm: fairrank.AlgorithmILP, Tolerance: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ranked, extra); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), buf.String())
+	}
+}

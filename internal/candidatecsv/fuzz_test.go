@@ -1,0 +1,25 @@
+package candidatecsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead must never panic; whatever parses must also serialize.
+func FuzzRead(f *testing.F) {
+	f.Add("id,score,group\nx,1,g\n")
+	f.Add("id,score,group,attr\nx,1,g,v\n")
+	f.Add("")
+	f.Add("id,score,group\nx,NaN,g\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		cands, extra, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, cands, extra); err != nil {
+			t.Fatalf("parsed candidates failed to serialize: %v", err)
+		}
+	})
+}

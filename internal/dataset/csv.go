@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of the on-disk format.
+var csvHeader = []string{"id", "credit_amount", "age_sex", "housing"}
+
+// WriteCSV serializes the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	for _, r := range d.Records {
+		row := []string{
+			strconv.Itoa(r.ID),
+			strconv.FormatFloat(r.CreditAmount, 'f', -1, 64),
+			r.AgeSex.String(),
+			r.Housing.String(),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing record %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or hand-prepared in the
+// same format, e.g. from the real UCI file).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	for i, name := range csvHeader {
+		if rows[0][i] != name {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, rows[0][i], name)
+		}
+	}
+	out := &Dataset{Records: make([]Record, 0, len(rows)-1)}
+	for n, row := range rows[1:] {
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d id: %w", n+1, err)
+		}
+		amount, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d credit_amount: %w", n+1, err)
+		}
+		ageSex, err := parseAgeSex(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", n+1, err)
+		}
+		housing, err := parseHousing(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", n+1, err)
+		}
+		out.Records = append(out.Records, Record{
+			ID: id, CreditAmount: amount, AgeSex: ageSex, Housing: housing,
+		})
+	}
+	return out, nil
+}
+
+func parseAgeSex(s string) (AgeSex, error) {
+	for a := AgeSex(0); a < NumAgeSex; a++ {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown age_sex %q", s)
+}
+
+func parseHousing(s string) (Housing, error) {
+	for h := Housing(0); h < NumHousing; h++ {
+		if h.String() == s {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown housing %q", s)
+}

@@ -1,0 +1,243 @@
+// Package dataset provides the German Credit data used by the paper's
+// third experiment (§V-C): a synthetic generator that reproduces the
+// paper's Table I joint distribution of the Age–Sex and Housing
+// attributes exactly, plus a CSV codec for running against the real UCI
+// file when it is available.
+//
+// The experiments consume only three columns: Credit Amount (the ranking
+// score), the combined Age–Sex attribute (four groups, treated as
+// known), and Housing (three groups, treated as unknown). The synthetic
+// generator matches the Table I cell counts exactly — so every fairness
+// constraint, group share, and infeasibility behaviour is identical to
+// the real data — and draws credit amounts from a lognormal fitted to
+// the published summary statistics of the real attribute (median ≈ 2320
+// DM, mean ≈ 3271 DM, range 250–18424). Scores enter the experiments
+// only through their order and relative magnitude in DCG, so matching
+// the marginal shape suffices; DESIGN.md records this substitution.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// AgeSex is the paper's combined four-valued protected attribute.
+type AgeSex int
+
+// Age–Sex groups in the paper's Table I row order.
+const (
+	YoungFemale AgeSex = iota // age < 35, female
+	YoungMale                 // age < 35, male
+	OldFemale                 // age ≥ 35, female
+	OldMale                   // age ≥ 35, male
+	NumAgeSex
+)
+
+func (a AgeSex) String() string {
+	switch a {
+	case YoungFemale:
+		return "<35-female"
+	case YoungMale:
+		return "<35-male"
+	case OldFemale:
+		return ">=35-female"
+	case OldMale:
+		return ">=35-male"
+	}
+	return fmt.Sprintf("agesex(%d)", int(a))
+}
+
+// Housing is the paper's three-valued "unknown" protected attribute.
+type Housing int
+
+// Housing groups in the paper's Table I column order.
+const (
+	Free Housing = iota
+	Own
+	Rent
+	NumHousing
+)
+
+func (h Housing) String() string {
+	switch h {
+	case Free:
+		return "free"
+	case Own:
+		return "own"
+	case Rent:
+		return "rent"
+	}
+	return fmt.Sprintf("housing(%d)", int(h))
+}
+
+// TableI is the joint Age–Sex × Housing distribution of the German
+// Credit dataset as published in the paper (rows: Age–Sex in declaration
+// order; columns: free, own, rent).
+var TableI = [NumAgeSex][NumHousing]int{
+	YoungFemale: {2, 131, 80},
+	YoungMale:   {23, 261, 51},
+	OldFemale:   {17, 65, 15},
+	OldMale:     {66, 256, 33},
+}
+
+// Record is one credit applicant.
+type Record struct {
+	ID           int
+	CreditAmount float64
+	AgeSex       AgeSex
+	Housing      Housing
+}
+
+// Dataset is an ordered collection of records; IDs index into Records.
+type Dataset struct {
+	Records []Record
+}
+
+// Lognormal parameters fitted to the real Credit Amount attribute:
+// median 2319.5 DM fixes μ = ln 2319.5; mean 3271.258 DM fixes
+// σ = √(2·ln(mean/median)).
+const (
+	amountMu    = 7.749107 // ln(2319.5)
+	amountSigma = 0.829567 // √(2·ln(3271.258/2319.5))
+	amountMin   = 250
+	amountMax   = 18424
+)
+
+// Per-group location shifts of the lognormal μ. The real attribute
+// correlates mildly with the demographics (male and older applicants
+// take larger credits on average), and that correlation is what makes
+// the score-sorted ranking unfair — without it the §V-C experiment is
+// trivial. The shifts are weighted to ≈0 under the Table I shares, so
+// the overall marginal keeps the published median/mean.
+var (
+	amountMuByAgeSex = [NumAgeSex]float64{
+		YoungFemale: -0.20,
+		YoungMale:   +0.10,
+		OldFemale:   -0.15,
+		OldMale:     +0.05,
+	}
+	amountMuByHousing = [NumHousing]float64{
+		Free: +0.25,
+		Own:  0.00,
+		Rent: -0.15,
+	}
+)
+
+// SyntheticGermanCredit generates the 1000-record synthetic dataset:
+// cell counts exactly as in Table I, record order shuffled, credit
+// amounts lognormal clamped to the real attribute's range and rounded to
+// whole Deutsche Mark. Deterministic for a fixed rng seed.
+func SyntheticGermanCredit(rng *rand.Rand) *Dataset {
+	var records []Record
+	for a := AgeSex(0); a < NumAgeSex; a++ {
+		for h := Housing(0); h < NumHousing; h++ {
+			for i := 0; i < TableI[a][h]; i++ {
+				records = append(records, Record{AgeSex: a, Housing: h})
+			}
+		}
+	}
+	rng.Shuffle(len(records), func(i, j int) { records[i], records[j] = records[j], records[i] })
+	for i := range records {
+		records[i].ID = i
+		records[i].CreditAmount = sampleAmount(records[i].AgeSex, records[i].Housing, rng)
+	}
+	return &Dataset{Records: records}
+}
+
+func sampleAmount(a AgeSex, h Housing, rng *rand.Rand) float64 {
+	mu := amountMu + amountMuByAgeSex[a] + amountMuByHousing[h]
+	v := math.Exp(mu + amountSigma*rng.NormFloat64())
+	if v < amountMin {
+		v = amountMin
+	}
+	if v > amountMax {
+		v = amountMax
+	}
+	return math.Round(v)
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Scores returns the credit amounts indexed by record ID, the ranking
+// scores of §V-C.
+func (d *Dataset) Scores() []float64 {
+	s := make([]float64, len(d.Records))
+	for i, r := range d.Records {
+		s[i] = r.CreditAmount
+	}
+	return s
+}
+
+// AgeSexAssign returns each record's Age–Sex group id (the known
+// attribute).
+func (d *Dataset) AgeSexAssign() []int {
+	a := make([]int, len(d.Records))
+	for i, r := range d.Records {
+		a[i] = int(r.AgeSex)
+	}
+	return a
+}
+
+// SexAssign returns each record's sex as a binary group id (0 = female,
+// 1 = male), derived from the combined Age–Sex attribute. Used by the
+// binary-attribute extension experiment that exercises GrBinaryIPF.
+func (d *Dataset) SexAssign() []int {
+	a := make([]int, len(d.Records))
+	for i, r := range d.Records {
+		if r.AgeSex == YoungMale || r.AgeSex == OldMale {
+			a[i] = 1
+		}
+	}
+	return a
+}
+
+// HousingAssign returns each record's Housing group id (the unknown
+// attribute).
+func (d *Dataset) HousingAssign() []int {
+	a := make([]int, len(d.Records))
+	for i, r := range d.Records {
+		a[i] = int(r.Housing)
+	}
+	return a
+}
+
+// CrossTab recomputes the Age–Sex × Housing contingency table of the
+// dataset; for synthetic data it equals TableI.
+func (d *Dataset) CrossTab() [NumAgeSex][NumHousing]int {
+	var tab [NumAgeSex][NumHousing]int
+	for _, r := range d.Records {
+		tab[r.AgeSex][r.Housing]++
+	}
+	return tab
+}
+
+// TopByAmount returns a new Dataset holding the n records with the
+// largest credit amounts (ties broken by ID for determinism), re-indexed
+// with IDs 0…n−1 in non-increasing amount order. This is the candidate
+// pool for a ranking task of size n.
+func (d *Dataset) TopByAmount(n int) (*Dataset, error) {
+	if n < 0 || n > len(d.Records) {
+		return nil, fmt.Errorf("dataset: top %d of %d records", n, len(d.Records))
+	}
+	idx := make([]int, len(d.Records))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := d.Records[idx[a]], d.Records[idx[b]]
+		if ra.CreditAmount != rb.CreditAmount {
+			return ra.CreditAmount > rb.CreditAmount
+		}
+		return ra.ID < rb.ID
+	})
+	out := &Dataset{Records: make([]Record, n)}
+	for i := 0; i < n; i++ {
+		r := d.Records[idx[i]]
+		r.ID = i
+		out.Records[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSyntheticMatchesTableI(t *testing.T) {
+	d := SyntheticGermanCredit(rand.New(rand.NewSource(1)))
+	if d.Len() != 1000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	tab := d.CrossTab()
+	if tab != TableI {
+		t.Fatalf("cross tab = %v, want Table I %v", tab, TableI)
+	}
+	// Row and column totals as printed in the paper.
+	rowTotals := []int{213, 335, 97, 355}
+	for a := AgeSex(0); a < NumAgeSex; a++ {
+		sum := 0
+		for h := Housing(0); h < NumHousing; h++ {
+			sum += tab[a][h]
+		}
+		if sum != rowTotals[a] {
+			t.Errorf("row %v total = %d, want %d", a, sum, rowTotals[a])
+		}
+	}
+	colTotals := []int{108, 713, 179}
+	for h := Housing(0); h < NumHousing; h++ {
+		sum := 0
+		for a := AgeSex(0); a < NumAgeSex; a++ {
+			sum += tab[a][h]
+		}
+		if sum != colTotals[h] {
+			t.Errorf("column %v total = %d, want %d", h, sum, colTotals[h])
+		}
+	}
+}
+
+func TestSyntheticAmountsPlausible(t *testing.T) {
+	d := SyntheticGermanCredit(rand.New(rand.NewSource(2)))
+	amounts := d.Scores()
+	for i, v := range amounts {
+		if v < amountMin || v > amountMax {
+			t.Fatalf("record %d amount %v outside [%d,%d]", i, v, amountMin, amountMax)
+		}
+		if v != float64(int64(v)) {
+			t.Fatalf("record %d amount %v not whole DM", i, v)
+		}
+	}
+	// Median and mean near the real attribute's published statistics.
+	med := stats.Median(amounts)
+	if med < 1800 || med > 2900 {
+		t.Errorf("median %v implausibly far from 2320", med)
+	}
+	mean := stats.Mean(amounts)
+	if mean < 2700 || mean > 3900 {
+		t.Errorf("mean %v implausibly far from 3271", mean)
+	}
+}
+
+func TestSyntheticDeterministicPerSeed(t *testing.T) {
+	a := SyntheticGermanCredit(rand.New(rand.NewSource(7)))
+	b := SyntheticGermanCredit(rand.New(rand.NewSource(7)))
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("records %d differ across equal seeds", i)
+		}
+	}
+	c := SyntheticGermanCredit(rand.New(rand.NewSource(8)))
+	same := true
+	for i := range a.Records {
+		if a.Records[i] != c.Records[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestAssignsAndScores(t *testing.T) {
+	d := SyntheticGermanCredit(rand.New(rand.NewSource(3)))
+	ages := d.AgeSexAssign()
+	housing := d.HousingAssign()
+	scores := d.Scores()
+	if len(ages) != 1000 || len(housing) != 1000 || len(scores) != 1000 {
+		t.Fatal("assign/score lengths wrong")
+	}
+	for i, r := range d.Records {
+		if ages[i] != int(r.AgeSex) || housing[i] != int(r.Housing) || scores[i] != r.CreditAmount {
+			t.Fatalf("record %d assigns inconsistent", i)
+		}
+		if r.ID != i {
+			t.Fatalf("record %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestTopByAmount(t *testing.T) {
+	d := SyntheticGermanCredit(rand.New(rand.NewSource(4)))
+	top, err := d.TopByAmount(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Len() != 50 {
+		t.Fatalf("top.Len = %d", top.Len())
+	}
+	for i := 1; i < top.Len(); i++ {
+		if top.Records[i].CreditAmount > top.Records[i-1].CreditAmount {
+			t.Fatal("top records not sorted by amount")
+		}
+	}
+	for i, r := range top.Records {
+		if r.ID != i {
+			t.Fatalf("top record %d re-indexed to %d", i, r.ID)
+		}
+	}
+	// The 50th amount must dominate everything outside the top set.
+	cut := top.Records[49].CreditAmount
+	above := 0
+	for _, r := range d.Records {
+		if r.CreditAmount > cut {
+			above++
+		}
+	}
+	if above > 49 {
+		t.Fatalf("%d amounts above the 50th largest", above)
+	}
+	if _, err := d.TopByAmount(-1); err == nil {
+		t.Error("accepted negative n")
+	}
+	if _, err := d.TopByAmount(1001); err == nil {
+		t.Error("accepted n beyond dataset")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := SyntheticGermanCredit(rand.New(rand.NewSource(5)))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d", back.Len())
+	}
+	for i := range d.Records {
+		if d.Records[i] != back.Records[i] {
+			t.Fatalf("record %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header,row,x\n",
+		"id,credit_amount,age_sex,housing\nnotanint,100,<35-male,own\n",
+		"id,credit_amount,age_sex,housing\n0,notafloat,<35-male,own\n",
+		"id,credit_amount,age_sex,housing\n0,100,alien,own\n",
+		"id,credit_amount,age_sex,housing\n0,100,<35-male,castle\n",
+		"id,credit_amount,age_sex,housing\n0,100,<35-male\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted malformed csv", i)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if YoungFemale.String() != "<35-female" || OldMale.String() != ">=35-male" {
+		t.Error("AgeSex strings wrong")
+	}
+	if Free.String() != "free" || Own.String() != "own" || Rent.String() != "rent" {
+		t.Error("Housing strings wrong")
+	}
+	if AgeSex(99).String() == "" || Housing(99).String() == "" {
+		t.Error("fallback strings empty")
+	}
+}

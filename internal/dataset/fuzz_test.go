@@ -1,0 +1,33 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV must reject or parse arbitrary input without panicking,
+// and anything it parses must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,credit_amount,age_sex,housing\n0,100,<35-male,own\n")
+	f.Add("id,credit_amount,age_sex,housing\n")
+	f.Add("")
+	f.Add("id,credit_amount,age_sex,housing\n0,1e3,>=35-female,rent\n1,250,<35-female,free\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("parsed dataset failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized dataset failed to parse: %v", err)
+		}
+		if back.Len() != ds.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), ds.Len())
+		}
+	})
+}

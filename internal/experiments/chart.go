@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart geometry: every panel renders into a fixed-height grid with one
+// column block per x value.
+const (
+	chartRows = 12
+	chartCol  = 6 // characters per x position
+)
+
+// seriesMarks label up to ten series within one panel.
+var seriesMarks = []byte("abcdefghij")
+
+// WriteCharts renders each panel as an ASCII line chart: the y-axis is
+// scaled to the panel's value range, every series plots its points with
+// its own letter (overlaps show '#'), and a legend maps letters to
+// series labels. Intended for terminal inspection next to the exact
+// numbers of WriteText.
+func (f *Figure) WriteCharts(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, panel := range f.Panels {
+		if err := writePanelChart(w, f, panel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePanelChart(w io.Writer, f *Figure, panel Panel) error {
+	if _, err := fmt.Fprintf(w, "\n  %s\n", panel.Title); err != nil {
+		return err
+	}
+	if len(panel.Series) == 0 || len(panel.Series[0].Points) == 0 {
+		_, err := fmt.Fprintln(w, "    (empty)")
+		return err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxPts := 0
+	for _, s := range panel.Series {
+		for _, p := range s.Points {
+			lo = math.Min(lo, p.Y)
+			hi = math.Max(hi, p.Y)
+		}
+		if len(s.Points) > maxPts {
+			maxPts = len(s.Points)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // flat panel: give the band some height
+	}
+
+	width := maxPts * chartCol
+	grid := make([][]byte, chartRows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round(float64(chartRows-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= chartRows {
+			r = chartRows - 1
+		}
+		return r
+	}
+	for si, s := range panel.Series {
+		mark := byte('?')
+		if si < len(seriesMarks) {
+			mark = seriesMarks[si]
+		}
+		for pi, p := range s.Points {
+			c := pi*chartCol + chartCol/2
+			r := row(p.Y)
+			if grid[r][c] == ' ' || grid[r][c] == mark {
+				grid[r][c] = mark
+			} else {
+				grid[r][c] = '#'
+			}
+		}
+	}
+
+	for r := 0; r < chartRows; r++ {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9s ", trimFloat(hi))
+		case chartRows - 1:
+			label = fmt.Sprintf("%9s ", trimFloat(lo))
+		}
+		if _, err := fmt.Fprintf(w, "    %s|%s\n", label, grid[r]); err != nil {
+			return err
+		}
+	}
+	// X axis with tick labels under each column.
+	if _, err := fmt.Fprintf(w, "    %10s+%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	var ticks strings.Builder
+	for _, p := range panel.Series[0].Points {
+		ticks.WriteString(center(trimFloat(p.X), chartCol))
+	}
+	if _, err := fmt.Fprintf(w, "    %10s %s  (%s)\n", "", ticks.String(), f.XLabel); err != nil {
+		return err
+	}
+	for si, s := range panel.Series {
+		mark := byte('?')
+		if si < len(seriesMarks) {
+			mark = seriesMarks[si]
+		}
+		if _, err := fmt.Fprintf(w, "      %c = %s\n", mark, s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// center pads s to width, centred; long strings are truncated.
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s[:width]
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}

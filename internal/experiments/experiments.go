@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Figs. 1–4 on synthetic rankings, Table I and
+// Figs. 5–7 on the (synthetic) German Credit dataset. Each driver
+// returns a structured Figure/Table that cmd/experiments renders as text
+// and CSV, and bench_test.go at the repository root wraps one benchmark
+// around each driver.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fairness"
+	"repro/internal/perm"
+)
+
+// Point is one x position of a series with a confidence band.
+type Point struct {
+	X  float64
+	Y  float64
+	Lo float64
+	Hi float64
+}
+
+// Series is a labelled line.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Panel is one subplot.
+type Panel struct {
+	Title  string
+	Series []Series
+}
+
+// Figure mirrors one figure of the paper.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Panels []Panel
+}
+
+// Table mirrors one table of the paper.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// twoEqualGroups builds the d-item, two-equal-groups universe used by
+// the synthetic experiments (§V-A, §V-B): items 0…d/2−1 in group 0,
+// the rest in group 1, under strict proportional constraints α=β=1/2.
+func twoEqualGroups(d int) (*fairness.Groups, *fairness.Constraints) {
+	assign := make([]int, d)
+	for i := d / 2; i < d; i++ {
+		assign[i] = 1
+	}
+	gr := fairness.MustGroups(assign, 2)
+	c, err := fairness.NewConstraints([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		panic(err) // static constants; cannot fail
+	}
+	return gr, c
+}
+
+// searchRankingWithII looks for a ranking whose Two-Sided Infeasible
+// Index equals target by seeded rejection sampling, falling back to the
+// closest index seen. It returns the ranking and its actual index.
+func searchRankingWithII(target int, gr *fairness.Groups, c *fairness.Constraints, rng *rand.Rand, tries int) (perm.Perm, int, error) {
+	d := gr.NumItems()
+	var best perm.Perm
+	bestII := -1
+	for i := 0; i < tries; i++ {
+		p := perm.Random(d, rng)
+		ii, err := fairness.TwoSidedInfeasibleIndex(p, gr, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ii == target {
+			return p, ii, nil
+		}
+		if best == nil || abs(ii-target) < abs(bestII-target) {
+			best = p
+			bestII = ii
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("experiments: no ranking found for II target %d", target)
+	}
+	return best, bestII, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

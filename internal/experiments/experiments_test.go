@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tinyFig1 keeps test runtime modest while preserving the shape.
+func tinyFig1() Fig1Config {
+	return Fig1Config{
+		Seed:       11,
+		D:          10,
+		TargetIIs:  []int{0, 8},
+		Thetas:     []float64{0.1, 1, 5},
+		Samples:    300,
+		BootstrapN: 100,
+		Confidence: 0.95,
+		SearchCap:  100000,
+	}
+}
+
+func TestFig1ShapeAndTrends(t *testing.T) {
+	fig, err := Fig1(tinyFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig1" || len(fig.Panels) != 2 {
+		t.Fatalf("fig shape: %s, %d panels", fig.ID, len(fig.Panels))
+	}
+	for pi, panel := range fig.Panels {
+		if len(panel.Series) != 2 {
+			t.Fatalf("panel %d has %d series", pi, len(panel.Series))
+		}
+		samples, ref := panel.Series[0], panel.Series[1]
+		if len(samples.Points) != 3 || len(ref.Points) != 3 {
+			t.Fatalf("panel %d point counts wrong", pi)
+		}
+		centralII := ref.Points[0].Y
+		// At θ = 5 the samples sit essentially on the central ranking.
+		last := samples.Points[len(samples.Points)-1]
+		if diff := last.Y - centralII; diff > 1 || diff < -1 {
+			t.Fatalf("panel %d: θ=5 sample II %v far from central %v", pi, last.Y, centralII)
+		}
+		for _, p := range samples.Points {
+			if p.Lo > p.Y || p.Y > p.Hi {
+				t.Fatalf("CI does not bracket point: %+v", p)
+			}
+		}
+	}
+	// The paper's headline: for a very unfair central (II=8), θ→0
+	// substantially drops the sampled II; for a fair central (II=0) it
+	// raises it mildly.
+	unfair := fig.Panels[1]
+	centralII := unfair.Series[1].Points[0].Y
+	if centralII < 6 {
+		t.Fatalf("unfair central II = %v, want ≥ 6", centralII)
+	}
+	atSmallTheta := unfair.Series[0].Points[0].Y
+	if atSmallTheta > centralII-1.5 {
+		t.Fatalf("θ=0.1 sample II %v did not drop from central %v", atSmallTheta, centralII)
+	}
+	fair := fig.Panels[0]
+	if fair.Series[0].Points[0].Y <= fair.Series[1].Points[0].Y {
+		t.Fatalf("fair central: θ=0.1 samples should raise II above 0")
+	}
+}
+
+func TestFig1Validation(t *testing.T) {
+	bad := tinyFig1()
+	bad.D = 7
+	if _, err := Fig1(bad); err == nil {
+		t.Error("accepted odd D")
+	}
+	bad = tinyFig1()
+	bad.Thetas = nil
+	if _, err := Fig1(bad); err == nil {
+		t.Error("accepted empty thetas")
+	}
+	bad = tinyFig1()
+	bad.Samples = 1
+	if _, err := Fig1(bad); err == nil {
+		t.Error("accepted 1 sample")
+	}
+	bad = tinyFig1()
+	bad.Confidence = 1
+	if _, err := Fig1(bad); err == nil {
+		t.Error("accepted confidence 1")
+	}
+}
+
+func tinyScoreGap() ScoreGapConfig {
+	return ScoreGapConfig{
+		Seed:       12,
+		GroupSize:  5,
+		Deltas:     []float64{0, 0.5, 1},
+		Thetas:     []float64{0.1, 1, 5},
+		Reps:       20,
+		Samples:    10,
+		BootstrapN: 100,
+		Confidence: 0.95,
+	}
+}
+
+func TestFig2CentralIIGrowsWithDelta(t *testing.T) {
+	fig, err := Fig2(tinyScoreGap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Panels[0].Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("point count %d", len(pts))
+	}
+	// Larger mean gap segregates the score-sorted ranking more.
+	if !(pts[2].Y > pts[0].Y) {
+		t.Fatalf("II not increasing with delta: %v vs %v", pts[0].Y, pts[2].Y)
+	}
+	// δ=1 guarantees full segregation: II is the maximum achievable for
+	// AAAAABBBBB-type rankings under α=β=0.5 (computed as 12 in the
+	// fairness tests' hand calculation: 6 lower + 6 upper... the exact
+	// value is deterministic, so just assert it is large).
+	if pts[2].Y < 8 {
+		t.Fatalf("fully segregated central II = %v, implausibly small", pts[2].Y)
+	}
+}
+
+func TestFig3And4TradeOff(t *testing.T) {
+	cfg := tinyScoreGap()
+	f3, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Panels) != 3 || len(f4.Panels) != 3 {
+		t.Fatalf("panel counts: %d, %d", len(f3.Panels), len(f4.Panels))
+	}
+	// Fig 3 carries the central reference series; Fig 4 does not.
+	if len(f3.Panels[0].Series) != 2 || len(f4.Panels[0].Series) != 1 {
+		t.Fatalf("series counts: %d, %d", len(f3.Panels[0].Series), len(f4.Panels[0].Series))
+	}
+	// δ=1 panel: samples' II at θ=5 approaches the central II; at θ=0.1
+	// it is much lower (the fairness gain). NDCG rises with θ toward 1.
+	p3 := f3.Panels[2]
+	centralII := p3.Series[1].Points[0].Y
+	if p3.Series[0].Points[0].Y >= centralII-1 {
+		t.Fatalf("θ=0.1 II %v not below central %v", p3.Series[0].Points[0].Y, centralII)
+	}
+	if diff := p3.Series[0].Points[2].Y - centralII; diff > 1 || diff < -1 {
+		t.Fatalf("θ=5 II %v not near central %v", p3.Series[0].Points[2].Y, centralII)
+	}
+	p4 := f4.Panels[2].Series[0].Points
+	if !(p4[2].Y > p4[0].Y) {
+		t.Fatalf("NDCG not increasing in θ: %v vs %v", p4[0].Y, p4[2].Y)
+	}
+	if p4[2].Y < 0.95 {
+		t.Fatalf("NDCG at θ=5 = %v, want near 1", p4[2].Y)
+	}
+}
+
+func TestScoreGapValidation(t *testing.T) {
+	bad := tinyScoreGap()
+	bad.GroupSize = 0
+	if _, err := Fig2(bad); err == nil {
+		t.Error("accepted zero group size")
+	}
+	bad = tinyScoreGap()
+	bad.Deltas = nil
+	if _, err := Fig3(bad); err == nil {
+		t.Error("accepted empty deltas")
+	}
+	bad = tinyScoreGap()
+	bad.Thetas = nil
+	if _, err := Fig4(bad); err == nil {
+		t.Error("accepted empty thetas")
+	}
+	bad = tinyScoreGap()
+	bad.Samples = 0
+	if _, err := Fig3(bad); err == nil {
+		t.Error("accepted zero samples")
+	}
+}
+
+func tinyGerman() GermanConfig {
+	return GermanConfig{
+		Seed:       13,
+		Sizes:      []int{10, 30},
+		Reps:       4,
+		Thetas:     []float64{0.5},
+		Sigmas:     []float64{0, 1},
+		CentralK:   10,
+		BestOf:     5,
+		Tolerance:  0.1,
+		BootstrapN: 50,
+		Confidence: 0.95,
+	}
+}
+
+func TestGermanShape(t *testing.T) {
+	res, err := German(tinyGerman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table I must match the paper exactly.
+	if len(res.TableI.Rows) != 5 {
+		t.Fatalf("table rows = %d", len(res.TableI.Rows))
+	}
+	if got := res.TableI.Rows[4]; got[1] != "108" || got[2] != "713" || got[3] != "179" || got[4] != "1000" {
+		t.Fatalf("table totals = %v", got)
+	}
+	for _, fig := range []*Figure{res.Fig5, res.Fig6, res.Fig7} {
+		if len(fig.Panels) != 2 { // θ × σ combinations
+			t.Fatalf("%s panels = %d", fig.ID, len(fig.Panels))
+		}
+		for _, panel := range fig.Panels {
+			if len(panel.Series) != 5 { // five algorithms
+				t.Fatalf("%s series = %d", fig.ID, len(panel.Series))
+			}
+			for _, s := range panel.Series {
+				if len(s.Points) != 2 { // two sizes
+					t.Fatalf("%s %q points = %d", fig.ID, s.Label, len(s.Points))
+				}
+				for _, p := range s.Points {
+					if p.X != 10 && p.X != 30 {
+						t.Fatalf("unexpected x %v", p.X)
+					}
+				}
+			}
+		}
+	}
+	// NDCG values live in (0, 1]; PPfair values in (-100, 100].
+	for _, panel := range res.Fig7.Panels {
+		for _, s := range panel.Series {
+			for _, p := range s.Points {
+				if p.Y <= 0 || p.Y > 1+1e-9 {
+					t.Fatalf("NDCG %v out of range for %q", p.Y, s.Label)
+				}
+			}
+		}
+	}
+	for _, fig := range []*Figure{res.Fig5, res.Fig6} {
+		for _, panel := range fig.Panels {
+			for _, s := range panel.Series {
+				for _, p := range s.Points {
+					if p.Y < -200 || p.Y > 100+1e-9 {
+						t.Fatalf("PPfair %v out of range for %q", p.Y, s.Label)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGermanFairAlgorithmsPerfectOnKnownAttributeWithoutNoise(t *testing.T) {
+	res, err := German(tinyGerman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panel 0 is σ=0: the ILP and IPF outputs satisfy the Age-Sex bounds
+	// at every prefix by construction, so PPfair(Age-Sex) = 100.
+	panel := res.Fig5.Panels[0]
+	if !strings.Contains(panel.Title, "sigma = 0") {
+		t.Fatalf("panel 0 title %q", panel.Title)
+	}
+	for _, s := range panel.Series {
+		if s.Label == "ilp" || s.Label == "approx-multivalued-ipf" {
+			for _, p := range s.Points {
+				if p.Y != 100 {
+					t.Fatalf("%s PPfair = %v at size %v, want 100", s.Label, p.Y, p.X)
+				}
+			}
+		}
+	}
+}
+
+func TestGermanDeterministicPerSeed(t *testing.T) {
+	a, err := German(tinyGerman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := German(tinyGerman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.Fig6.WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fig6.WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatal("same config, different results")
+	}
+}
+
+func TestGermanValidation(t *testing.T) {
+	bad := tinyGerman()
+	bad.Sizes = nil
+	if _, err := German(bad); err == nil {
+		t.Error("accepted empty sizes")
+	}
+	bad = tinyGerman()
+	bad.Sizes = []int{1001}
+	if _, err := German(bad); err == nil {
+		t.Error("accepted size beyond dataset")
+	}
+	bad = tinyGerman()
+	bad.Reps = 1
+	if _, err := German(bad); err == nil {
+		t.Error("accepted 1 rep")
+	}
+}
+
+func TestGermanBinary(t *testing.T) {
+	fig, err := GermanBinary(tinyGerman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figE1" || len(fig.Panels) != 2 {
+		t.Fatalf("figE1 shape: %s, %d panels", fig.ID, len(fig.Panels))
+	}
+	for _, panel := range fig.Panels {
+		if len(panel.Series) != 5 {
+			t.Fatalf("%q series = %d", panel.Title, len(panel.Series))
+		}
+	}
+	// GrBinaryIPF is KT-optimal among fair rankings: it must be exactly
+	// fair and never farther from the initial ranking than the (also
+	// exactly fair) footrule-based IPF.
+	fair, kt := fig.Panels[0], fig.Panels[1]
+	for i, p := range fair.Series[0].Points {
+		if p.Y != 100 {
+			t.Fatalf("GrBinary PPfair = %v at size %v", p.Y, p.X)
+		}
+		if kt.Series[0].Points[i].Y > kt.Series[1].Points[i].Y+1e-9 {
+			t.Fatalf("GrBinary KT %v above IPF %v at size %v",
+				kt.Series[0].Points[i].Y, kt.Series[1].Points[i].Y, p.X)
+		}
+	}
+	bad := tinyGerman()
+	bad.Sizes = nil
+	if _, err := GermanBinary(bad); err == nil {
+		t.Error("accepted empty sizes")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	fig, err := Fig2(tinyScoreGap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "delta") {
+		t.Fatalf("text rendering missing content:\n%s", out)
+	}
+	buf.Reset()
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "figure,panel,series,x,y,lo,hi" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 1+3 { // three deltas
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+}
+
+func TestWriteCharts(t *testing.T) {
+	fig, err := Fig2(tinyScoreGap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCharts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a = central II (mean)") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "(delta)") {
+		t.Fatalf("chart missing x label:\n%s", out)
+	}
+	if strings.Count(out, "a") < 3 {
+		t.Fatalf("chart missing plotted points:\n%s", out)
+	}
+	// Flat and empty panels must not crash.
+	flat := &Figure{ID: "t", Panels: []Panel{
+		{Title: "flat", Series: []Series{{Label: "s", Points: []Point{{X: 1, Y: 5}, {X: 2, Y: 5}}}}},
+		{Title: "empty"},
+	}}
+	buf.Reset()
+	if err := flat.WriteCharts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty)") {
+		t.Fatal("empty panel not marked")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "with,comma"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "demo") {
+		t.Fatal("table text missing title")
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"with,comma"`) {
+		t.Fatalf("csv escaping broken: %s", buf.String())
+	}
+}
+
+func TestSearchRankingWithII(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	gr, c := twoEqualGroups(10)
+	p, actual, err := searchRankingWithII(4, gr, c, rng, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if actual != 4 {
+		t.Fatalf("actual II = %d, want 4", actual)
+	}
+	// Unreachable target falls back to the closest achievable index.
+	_, actual, err = searchRankingWithII(99, gr, c, rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual >= 99 {
+		t.Fatalf("fallback actual = %d", actual)
+	}
+}

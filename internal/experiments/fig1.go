@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fairness"
+	"repro/internal/mallows"
+	"repro/internal/stats"
+)
+
+// Fig1Config parameterizes the first experiment (§V-A): the effect of
+// Mallows randomization on the Infeasible Index, for central rankings of
+// varying unfairness.
+type Fig1Config struct {
+	Seed       int64
+	D          int       // ranking size (paper: 10, two equal groups)
+	TargetIIs  []int     // Infeasible Index of each panel's central ranking
+	Thetas     []float64 // dispersion grid
+	Samples    int       // Mallows draws per (central, θ) point
+	BootstrapN int       // bootstrap resamples for the CI (paper: 1000)
+	Confidence float64   // CI level
+	SearchCap  int       // rejection-sampling tries per central
+}
+
+// DefaultFig1Config mirrors the paper's setup at full fidelity.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{
+		Seed:       1,
+		D:          10,
+		TargetIIs:  []int{0, 2, 4, 6, 8},
+		Thetas:     []float64{0.1, 0.25, 0.5, 1, 2, 3, 5},
+		Samples:    500,
+		BootstrapN: 1000,
+		Confidence: 0.95,
+		SearchCap:  200000,
+	}
+}
+
+func (c Fig1Config) validate() error {
+	if c.D < 2 || c.D%2 != 0 {
+		return fmt.Errorf("experiments: fig1 D = %d, want even ≥ 2", c.D)
+	}
+	if len(c.TargetIIs) == 0 || len(c.Thetas) == 0 {
+		return fmt.Errorf("experiments: fig1 needs targets and thetas")
+	}
+	if c.Samples < 2 || c.BootstrapN < 1 {
+		return fmt.Errorf("experiments: fig1 samples/bootstrap too small")
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("experiments: fig1 confidence %v", c.Confidence)
+	}
+	return nil
+}
+
+// Fig1 reproduces Fig. 1: for central rankings constructed at several
+// Infeasible Index levels, the mean Infeasible Index of Mallows samples
+// as a function of θ, with bootstrap confidence intervals. Each panel
+// also carries the central ranking's index as a flat reference series
+// (the red line of the paper's plot).
+func Fig1(cfg Fig1Config) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gr, c := twoEqualGroups(cfg.D)
+
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Mallows randomization vs Infeasible Index (two equal groups, d=10)",
+		XLabel: "theta",
+		YLabel: "infeasible index",
+	}
+	for _, target := range cfg.TargetIIs {
+		central, actual, err := searchRankingWithII(target, gr, c, rng, cfg.SearchCap)
+		if err != nil {
+			return nil, err
+		}
+		sample := Series{Label: "samples (mean II)"}
+		ref := Series{Label: "central II"}
+		for _, theta := range cfg.Thetas {
+			model, err := mallows.New(central, theta)
+			if err != nil {
+				return nil, err
+			}
+			iis := make([]float64, cfg.Samples)
+			for i := range iis {
+				p := model.Sample(rng)
+				ii, err := fairness.TwoSidedInfeasibleIndex(p, gr, c)
+				if err != nil {
+					return nil, err
+				}
+				iis[i] = float64(ii)
+			}
+			iv, err := stats.BootstrapMean(iis, cfg.BootstrapN, cfg.Confidence, rng)
+			if err != nil {
+				return nil, err
+			}
+			sample.Points = append(sample.Points, Point{X: theta, Y: iv.Point, Lo: iv.Lo, Hi: iv.Hi})
+			ref.Points = append(ref.Points, Point{X: theta, Y: float64(actual), Lo: float64(actual), Hi: float64(actual)})
+		}
+		fig.Panels = append(fig.Panels, Panel{
+			Title:  fmt.Sprintf("central II = %d (target %d)", actual, target),
+			Series: []Series{sample, ref},
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fairness"
+	"repro/internal/mallows"
+	"repro/internal/perm"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// ScoreGapConfig parameterizes the second experiment (§V-B): two equal
+// groups of GroupSize individuals with scores S₁ ~ U(0,1) and
+// S₂ ~ U(δ, 1+δ), rankings sorted by descending score.
+type ScoreGapConfig struct {
+	Seed       int64
+	GroupSize  int       // paper: 5 per group
+	Deltas     []float64 // difference in score means (paper: 0.0…1.0 step 0.1)
+	Thetas     []float64 // dispersion grid for Figs. 3 and 4
+	Reps       int       // score redraws per δ
+	Samples    int       // Mallows draws per (δ, θ) and score draw
+	BootstrapN int
+	Confidence float64
+}
+
+// DefaultScoreGapConfig mirrors the paper's setup.
+func DefaultScoreGapConfig() ScoreGapConfig {
+	deltas := make([]float64, 11)
+	for i := range deltas {
+		deltas[i] = float64(i) / 10
+	}
+	return ScoreGapConfig{
+		Seed:       2,
+		GroupSize:  5,
+		Deltas:     deltas,
+		Thetas:     []float64{0.1, 0.25, 0.5, 1, 2, 3, 5},
+		Reps:       60,
+		Samples:    25,
+		BootstrapN: 1000,
+		Confidence: 0.95,
+	}
+}
+
+func (c ScoreGapConfig) validate() error {
+	if c.GroupSize < 1 {
+		return fmt.Errorf("experiments: group size %d", c.GroupSize)
+	}
+	if len(c.Deltas) == 0 {
+		return fmt.Errorf("experiments: no deltas")
+	}
+	if c.Reps < 2 || c.BootstrapN < 1 {
+		return fmt.Errorf("experiments: reps/bootstrap too small")
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("experiments: confidence %v", c.Confidence)
+	}
+	return nil
+}
+
+// drawScores samples the §V-B score model: group 0 gets U(0,1), group 1
+// gets U(δ, 1+δ).
+func drawScores(d int, delta float64, rng *rand.Rand) quality.Scores {
+	s := make(quality.Scores, d)
+	for i := 0; i < d/2; i++ {
+		s[i] = rng.Float64()
+	}
+	for i := d / 2; i < d; i++ {
+		s[i] = delta + rng.Float64()
+	}
+	return s
+}
+
+// Fig2 reproduces Fig. 2: the Infeasible Index of the score-sorted
+// central ranking as a function of the group mean gap δ, with bootstrap
+// confidence intervals over score redraws.
+func Fig2(cfg ScoreGapConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := 2 * cfg.GroupSize
+	gr, c := twoEqualGroups(d)
+
+	series := Series{Label: "central II (mean)"}
+	for _, delta := range cfg.Deltas {
+		iis := make([]float64, cfg.Reps)
+		for r := range iis {
+			scores := drawScores(d, delta, rng)
+			central := quality.Ideal(perm.Identity(d), scores)
+			ii, err := fairness.TwoSidedInfeasibleIndex(central, gr, c)
+			if err != nil {
+				return nil, err
+			}
+			iis[r] = float64(ii)
+		}
+		iv, err := stats.BootstrapMean(iis, cfg.BootstrapN, cfg.Confidence, rng)
+		if err != nil {
+			return nil, err
+		}
+		series.Points = append(series.Points, Point{X: delta, Y: iv.Point, Lo: iv.Lo, Hi: iv.Hi})
+	}
+	return &Figure{
+		ID:     "fig2",
+		Title:  "Infeasible Index of the score-sorted central ranking vs group mean gap",
+		XLabel: "delta",
+		YLabel: "infeasible index",
+		Panels: []Panel{{Title: "two equal groups of 5", Series: []Series{series}}},
+	}, nil
+}
+
+// Fig3 reproduces Fig. 3: per δ, the mean Infeasible Index of Mallows
+// samples around the score-sorted central as a function of θ.
+func Fig3(cfg ScoreGapConfig) (*Figure, error) {
+	return scoreGapSweep(cfg, "fig3",
+		"Mallows randomization vs Infeasible Index (score-sorted centrals)",
+		"infeasible index",
+		func(p perm.Perm, _ quality.Scores, gr *fairness.Groups, c *fairness.Constraints) (float64, error) {
+			ii, err := fairness.TwoSidedInfeasibleIndex(p, gr, c)
+			return float64(ii), err
+		},
+		func(central perm.Perm, _ quality.Scores, gr *fairness.Groups, c *fairness.Constraints) (float64, error) {
+			ii, err := fairness.TwoSidedInfeasibleIndex(central, gr, c)
+			return float64(ii), err
+		},
+	)
+}
+
+// Fig4 reproduces Fig. 4: per δ, the mean NDCG of Mallows samples as a
+// function of θ (the central ranking's NDCG is 1 by construction).
+func Fig4(cfg ScoreGapConfig) (*Figure, error) {
+	return scoreGapSweep(cfg, "fig4",
+		"Mallows randomization vs NDCG (score-sorted centrals)",
+		"ndcg",
+		func(p perm.Perm, s quality.Scores, _ *fairness.Groups, _ *fairness.Constraints) (float64, error) {
+			return quality.NDCG(p, s, len(p))
+		},
+		nil,
+	)
+}
+
+// scoreGapSweep is the shared Fig. 3/4 engine: panels per δ, X = θ,
+// Y = mean of metric over score redraws × Mallows samples. refMetric, if
+// non-nil, adds a flat reference series evaluated on the central
+// ranking (averaged over redraws).
+func scoreGapSweep(
+	cfg ScoreGapConfig,
+	id, title, ylabel string,
+	metric func(perm.Perm, quality.Scores, *fairness.Groups, *fairness.Constraints) (float64, error),
+	refMetric func(perm.Perm, quality.Scores, *fairness.Groups, *fairness.Constraints) (float64, error),
+) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Thetas) == 0 {
+		return nil, fmt.Errorf("experiments: %s needs thetas", id)
+	}
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("experiments: %s needs samples", id)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := 2 * cfg.GroupSize
+	gr, c := twoEqualGroups(d)
+
+	fig := &Figure{ID: id, Title: title, XLabel: "theta", YLabel: ylabel}
+	for _, delta := range cfg.Deltas {
+		// Redraw scores (and centrals) once per rep, reused across θ so
+		// the θ-sweep is paired.
+		scoreDraws := make([]quality.Scores, cfg.Reps)
+		centrals := make([]perm.Perm, cfg.Reps)
+		var refTotal float64
+		for r := 0; r < cfg.Reps; r++ {
+			scoreDraws[r] = drawScores(d, delta, rng)
+			centrals[r] = quality.Ideal(perm.Identity(d), scoreDraws[r])
+			if refMetric != nil {
+				v, err := refMetric(centrals[r], scoreDraws[r], gr, c)
+				if err != nil {
+					return nil, err
+				}
+				refTotal += v
+			}
+		}
+		sample := Series{Label: "samples (mean)"}
+		var ref *Series
+		if refMetric != nil {
+			ref = &Series{Label: "central (mean)"}
+		}
+		for _, theta := range cfg.Thetas {
+			var values []float64
+			for r := 0; r < cfg.Reps; r++ {
+				model, err := mallows.New(centrals[r], theta)
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < cfg.Samples; i++ {
+					v, err := metric(model.Sample(rng), scoreDraws[r], gr, c)
+					if err != nil {
+						return nil, err
+					}
+					values = append(values, v)
+				}
+			}
+			iv, err := stats.BootstrapMean(values, cfg.BootstrapN, cfg.Confidence, rng)
+			if err != nil {
+				return nil, err
+			}
+			sample.Points = append(sample.Points, Point{X: theta, Y: iv.Point, Lo: iv.Lo, Hi: iv.Hi})
+			if ref != nil {
+				m := refTotal / float64(cfg.Reps)
+				ref.Points = append(ref.Points, Point{X: theta, Y: m, Lo: m, Hi: m})
+			}
+		}
+		panel := Panel{Title: fmt.Sprintf("delta = %.1f", delta), Series: []Series{sample}}
+		if ref != nil {
+			panel.Series = append(panel.Series, *ref)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the figure as aligned per-panel tables: one row per
+// x value, one column per series, entries "y [lo,hi]".
+func (f *Figure) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, panel := range f.Panels {
+		if _, err := fmt.Fprintf(w, "\n  %s\n", panel.Title); err != nil {
+			return err
+		}
+		if len(panel.Series) == 0 {
+			continue
+		}
+		// Column header.
+		cols := []string{f.XLabel}
+		for _, s := range panel.Series {
+			cols = append(cols, s.Label)
+		}
+		rows := [][]string{cols}
+		for i := range panel.Series[0].Points {
+			row := []string{trimFloat(panel.Series[0].Points[i].X)}
+			for _, s := range panel.Series {
+				if i >= len(s.Points) {
+					row = append(row, "-")
+					continue
+				}
+				p := s.Points[i]
+				if p.Lo == p.Hi && p.Lo == p.Y {
+					row = append(row, trimFloat(p.Y))
+				} else {
+					row = append(row, fmt.Sprintf("%s [%s,%s]", trimFloat(p.Y), trimFloat(p.Lo), trimFloat(p.Hi)))
+				}
+			}
+			rows = append(rows, row)
+		}
+		if err := writeAligned(w, rows, "    "); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the figure in long format:
+// figure,panel,series,x,y,lo,hi.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,panel,series,x,y,lo,hi"); err != nil {
+		return err
+	}
+	for _, panel := range f.Panels {
+		for _, s := range panel.Series {
+			for _, p := range s.Points {
+				_, err := fmt.Fprintf(w, "%s,%s,%s,%g,%g,%g,%g\n",
+					csvEscape(f.ID), csvEscape(panel.Title), csvEscape(s.Label), p.X, p.Y, p.Lo, p.Hi)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	rows := append([][]string{t.Header}, t.Rows...)
+	if err := writeAligned(w, rows, "  "); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as plain CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	all := append([][]string{t.Header}, t.Rows...)
+	for _, row := range all {
+		esc := make([]string, len(row))
+		for i, cell := range row {
+			esc[i] = csvEscape(cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(esc, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAligned(w io.Writer, rows [][]string, indent string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		b.WriteString(indent)
+		for i, cell := range row {
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)+2))
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

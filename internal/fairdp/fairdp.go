@@ -1,0 +1,183 @@
+// Package fairdp computes the DCG-optimal (α,β)-fair ranking exactly by
+// dynamic programming over per-group count vectors.
+//
+// It solves the same optimization as the paper's §IV-B ILP:
+//
+//	max  Σ_{i,j} s(i)·c(j)·x_{ij}
+//	s.t. every position holds one item, every item at most one position,
+//	     ⌊α_p·ℓ⌋ ≤ Σ_{i∈G_p} Σ_{j≤ℓ} x_{ij} ≤ ⌈β_p·ℓ⌉  for all ℓ, p
+//
+// but in O(k·g·∏(n_g+1)) time instead of exponential branch and bound.
+//
+// # Why the DP is exact
+//
+// The objective only sees an item through its score and its position
+// discount, and the constraints only see it through its group. Fix the
+// "group pattern" of a ranking (which group occupies each position):
+// feasibility is a function of the pattern alone, and by the
+// rearrangement inequality (discounts are non-increasing in position)
+// the best completion of a pattern places each group's items in
+// non-increasing score order across that group's positions. The DP
+// therefore searches all feasible group patterns — states are vectors of
+// per-group counts placed so far, with the prefix length implied by the
+// vector's sum — and completes them greedily within groups, which loses
+// nothing.
+package fairdp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fairness"
+	"repro/internal/perm"
+	"repro/internal/quality"
+)
+
+// MaxStates bounds the DP state space ∏(n_g+1); beyond this the instance
+// is refused rather than exhausting memory.
+const MaxStates = 32 << 20
+
+// Solve returns the DCG-maximal ranking of all items whose every prefix
+// satisfies the bound table, together with its DCG value. The table must
+// cover exactly len(scores) prefixes. A nil discount means the standard
+// 1/log₂(1+rank).
+//
+// The error distinguishes invalid input from infeasibility: infeasible
+// instances return ErrInfeasible (possibly wrapped).
+func Solve(scores []float64, gr *fairness.Groups, b *fairness.Bounds, disc quality.Discount) (perm.Perm, float64, error) {
+	d := len(scores)
+	if gr.NumItems() != d {
+		return nil, 0, fmt.Errorf("fairdp: %d scores vs %d items", d, gr.NumItems())
+	}
+	if b.K() != d {
+		return nil, 0, fmt.Errorf("fairdp: bounds cover %d prefixes, want %d", b.K(), d)
+	}
+	g := gr.NumGroups()
+	if d > 0 && b.NumGroups() != g {
+		return nil, 0, fmt.Errorf("fairdp: bounds cover %d groups, want %d", b.NumGroups(), g)
+	}
+	if g > 127 {
+		return nil, 0, fmt.Errorf("fairdp: %d groups exceed the supported 127", g)
+	}
+	if disc == nil {
+		disc = quality.LogDiscount
+	}
+	if d == 0 {
+		return perm.Perm{}, 0, nil
+	}
+
+	// Members of each group in non-increasing score order (ties by item
+	// id for determinism).
+	members := gr.Members()
+	for _, ms := range members {
+		sort.SliceStable(ms, func(a, b int) bool { return scores[ms[a]] > scores[ms[b]] })
+	}
+	sizes := gr.Sizes()
+
+	// State encoding: mixed radix over counts, stride_g = ∏_{h<g}(n_h+1).
+	strides := make([]int, g)
+	total := 1
+	for gid := 0; gid < g; gid++ {
+		strides[gid] = total
+		total *= sizes[gid] + 1
+		if total > MaxStates {
+			return nil, 0, fmt.Errorf("fairdp: state space exceeds %d states", MaxStates)
+		}
+	}
+
+	value := make([]float64, total)
+	choice := make([]int8, total)
+	visited := make([]bool, total)
+	for i := range value {
+		value[i] = math.Inf(-1)
+	}
+	value[0] = 0
+	visited[0] = true
+
+	// Forward DP, processing layers ℓ = 0 … d−1 (sum of counts).
+	frontier := []int{0}
+	counts := make([]int, g)
+	discount := make([]float64, d+1)
+	for ell := 1; ell <= d; ell++ {
+		discount[ell] = disc(ell)
+	}
+	for ell := 0; ell < d; ell++ {
+		var next []int
+		lo := b.Lower[ell] // bounds for prefix length ell+1
+		hi := b.Upper[ell]
+		for _, state := range frontier {
+			decode(state, strides, counts)
+			v := value[state]
+			for gid := 0; gid < g; gid++ {
+				c := counts[gid]
+				if c >= sizes[gid] {
+					continue
+				}
+				// Feasibility of the successor at prefix ell+1: only
+				// group gid's count changes, but every group's bounds
+				// must hold at the new prefix length.
+				ok := true
+				for q := 0; q < g; q++ {
+					cq := counts[q]
+					if q == gid {
+						cq++
+					}
+					if cq < lo[q] || cq > hi[q] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				nv := v + scores[members[gid][c]]*discount[ell+1]
+				ns := state + strides[gid]
+				if !visited[ns] {
+					visited[ns] = true
+					next = append(next, ns)
+					value[ns] = nv
+					choice[ns] = int8(gid)
+				} else if nv > value[ns] {
+					value[ns] = nv
+					choice[ns] = int8(gid)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	full := 0
+	for gid := 0; gid < g; gid++ {
+		full += sizes[gid] * strides[gid]
+	}
+	if !visited[full] {
+		return nil, 0, fmt.Errorf("fairdp: %w", ErrInfeasible)
+	}
+
+	// Reconstruct the group pattern backwards, then fill items.
+	out := make(perm.Perm, d)
+	state := full
+	decode(state, strides, counts)
+	for ell := d - 1; ell >= 0; ell-- {
+		gid := int(choice[state])
+		counts[gid]--
+		out[ell] = members[gid][counts[gid]]
+		state -= strides[gid]
+	}
+	return out, value[full], nil
+}
+
+// ErrInfeasible reports that no ranking satisfies the bound table.
+var ErrInfeasible = errInfeasible{}
+
+type errInfeasible struct{}
+
+func (errInfeasible) Error() string { return "no ranking satisfies the fairness bounds" }
+
+func decode(state int, strides, out []int) {
+	for gid := len(strides) - 1; gid >= 0; gid-- {
+		out[gid] = state / strides[gid]
+		state %= strides[gid]
+	}
+}

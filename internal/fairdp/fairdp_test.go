@@ -1,0 +1,282 @@
+package fairdp_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fairdp"
+	"repro/internal/fairness"
+	"repro/internal/ilp"
+	"repro/internal/perm"
+	"repro/internal/quality"
+)
+
+// bruteOptimal enumerates all permutations, keeps those whose every
+// prefix satisfies the bounds, and returns the best DCG (−Inf if none).
+func bruteOptimal(t *testing.T, scores []float64, gr *fairness.Groups, b *fairness.Bounds) float64 {
+	t.Helper()
+	best := math.Inf(-1)
+	perm.All(len(scores), func(p perm.Perm) bool {
+		v, err := fairness.EvaluateViolations(p, gr, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.UnionCount() > 0 {
+			return true
+		}
+		dcg, err := quality.DCG(p, quality.Scores(scores), len(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dcg > best {
+			best = dcg
+		}
+		return true
+	})
+	return best
+}
+
+func randomInstance(rng *rand.Rand, d int) ([]float64, *fairness.Groups, *fairness.Bounds) {
+	g := 2 + rng.Intn(2)
+	assign := make([]int, d)
+	for i := range assign {
+		assign[i] = rng.Intn(g)
+	}
+	gr := fairness.MustGroups(assign, g)
+	scores := make([]float64, d)
+	for i := range scores {
+		scores[i] = math.Round(rng.Float64()*100) / 10
+	}
+	tol := rng.Float64() * 0.4
+	c, err := fairness.Proportional(gr, tol)
+	if err != nil {
+		panic(err)
+	}
+	b := c.Table(d)
+	// Proportional tables are always satisfiable; perturb some of them
+	// the way the noisy-constraint experiments do, which can create
+	// infeasible instances the DP must detect.
+	if rng.Float64() < 0.4 {
+		for i := range b.Lower {
+			for g := range b.Lower[i] {
+				b.Lower[i][g] += rng.Intn(3) - 1
+				b.Upper[i][g] += rng.Intn(3) - 1
+			}
+		}
+		b.Clamp()
+	}
+	return scores, gr, b
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		d := 2 + rng.Intn(5) // 2..6
+		scores, gr, b := randomInstance(rng, d)
+		want := bruteOptimal(t, scores, gr, b)
+
+		got, val, err := fairdp.Solve(scores, gr, b, nil)
+		if math.IsInf(want, -1) {
+			if !errors.Is(err, fairdp.ErrInfeasible) {
+				t.Fatalf("brute says infeasible, DP returned %v (err=%v)", got, err)
+			}
+			infeasible++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("brute optimum %v but DP errored: %v", want, err)
+		}
+		feasible++
+		if math.Abs(val-want) > 1e-9 {
+			t.Fatalf("DP value %v, brute %v (d=%d)", val, want, d)
+		}
+		// The ranking must be valid, feasible, and worth its claimed DCG.
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		viol, err := fairness.EvaluateViolations(got, gr, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viol.UnionCount() > 0 {
+			t.Fatalf("DP ranking violates bounds: %v", got)
+		}
+		dcg, err := quality.DCG(got, quality.Scores(scores), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dcg-val) > 1e-9 {
+			t.Fatalf("claimed value %v, actual DCG %v", val, dcg)
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("want both outcomes exercised, got %d feasible / %d infeasible", feasible, infeasible)
+	}
+}
+
+// buildILP constructs the paper's §IV-B integer program for the same
+// instance: variables x_{ij} (item i at position j).
+func buildILP(scores []float64, gr *fairness.Groups, b *fairness.Bounds) ilp.Problem {
+	d := len(scores)
+	obj := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			obj[i*d+j] = scores[i] * quality.LogDiscount(j+1)
+		}
+	}
+	var cons []ilp.Constraint
+	for j := 0; j < d; j++ { // each position exactly one item
+		c := make([]float64, d*d)
+		for i := 0; i < d; i++ {
+			c[i*d+j] = 1
+		}
+		cons = append(cons, ilp.Constraint{Coeffs: c, Rel: ilp.EQ, RHS: 1})
+	}
+	for i := 0; i < d; i++ { // each item at most once
+		c := make([]float64, d*d)
+		for j := 0; j < d; j++ {
+			c[i*d+j] = 1
+		}
+		cons = append(cons, ilp.Constraint{Coeffs: c, Rel: ilp.LE, RHS: 1})
+	}
+	for ell := 1; ell <= d; ell++ {
+		for p := 0; p < gr.NumGroups(); p++ {
+			c := make([]float64, d*d)
+			for i := 0; i < d; i++ {
+				if gr.Of(i) != p {
+					continue
+				}
+				for j := 0; j < ell; j++ {
+					c[i*d+j] = 1
+				}
+			}
+			cons = append(cons,
+				ilp.Constraint{Coeffs: c, Rel: ilp.GE, RHS: float64(b.Lower[ell-1][p])},
+				ilp.Constraint{Coeffs: append([]float64(nil), c...), Rel: ilp.LE, RHS: float64(b.Upper[ell-1][p])},
+			)
+		}
+	}
+	return ilp.Problem{Objective: obj, Constraints: cons, Integer: ilp.AllInteger(d * d)}
+}
+
+func TestSolveMatchesILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	checked := 0
+	for trial := 0; trial < 12; trial++ {
+		d := 3 + rng.Intn(3) // 3..5
+		scores, gr, b := randomInstance(rng, d)
+		_, dpVal, dpErr := fairdp.Solve(scores, gr, b, nil)
+
+		sol, err := ilp.Solve(buildILP(scores, gr, b), ilp.Options{MaxNodes: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errors.Is(dpErr, fairdp.ErrInfeasible) {
+			if sol.Status == ilp.Optimal {
+				t.Fatalf("DP infeasible but ILP found %v", sol.Objective)
+			}
+			continue
+		}
+		if dpErr != nil {
+			t.Fatal(dpErr)
+		}
+		if sol.Status != ilp.Optimal {
+			t.Fatalf("DP value %v but ILP status %v", dpVal, sol.Status)
+		}
+		if math.Abs(sol.Objective-dpVal) > 1e-6 {
+			t.Fatalf("ILP %v vs DP %v (d=%d)", sol.Objective, dpVal, d)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no feasible instances compared")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	gr := fairness.MustGroups([]int{0, 1}, 2)
+	c, _ := fairness.NewConstraints([]float64{0, 0}, []float64{1, 1})
+	if _, _, err := fairdp.Solve([]float64{1}, gr, c.Table(1), nil); err == nil {
+		t.Error("accepted scores/groups mismatch")
+	}
+	if _, _, err := fairdp.Solve([]float64{1, 2}, gr, c.Table(1), nil); err == nil {
+		t.Error("accepted short bounds table")
+	}
+	grBig := fairness.MustGroups([]int{0, 1}, 2)
+	cNarrow, _ := fairness.NewConstraints([]float64{0}, []float64{1})
+	if _, _, err := fairdp.Solve([]float64{1, 2}, grBig, cNarrow.Table(2), nil); err == nil {
+		t.Error("accepted group-count mismatch")
+	}
+}
+
+func TestSolveEmptyInstance(t *testing.T) {
+	gr := fairness.MustGroups(nil, 1)
+	c, _ := fairness.NewConstraints([]float64{0}, []float64{1})
+	p, v, err := fairdp.Solve(nil, gr, c.Table(0), nil)
+	if err != nil || len(p) != 0 || v != 0 {
+		t.Fatalf("empty solve = %v, %v, %v", p, v, err)
+	}
+}
+
+func TestSolveUnconstrainedGivesIdealOrder(t *testing.T) {
+	scores := []float64{1, 9, 5, 7}
+	gr := fairness.MustGroups([]int{0, 0, 1, 1}, 2)
+	c, _ := fairness.NewConstraints([]float64{0, 0}, []float64{1, 1})
+	p, _, err := fairdp.Solve(scores, gr, c.Table(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perm.MustNew(1, 3, 2, 0)
+	if !p.Equal(want) {
+		t.Fatalf("unconstrained optimum = %v, want %v", p, want)
+	}
+}
+
+func TestSolveStrictAlternation(t *testing.T) {
+	// α=β=0.5 with two groups forces near-alternation; group A has all
+	// the high scores so A leads each pair of positions.
+	scores := []float64{10, 9, 8, 1, 0.5, 0.2}
+	gr := fairness.MustGroups([]int{0, 0, 0, 1, 1, 1}, 2)
+	c, _ := fairness.NewConstraints([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	p, _, err := fairdp.Solve(scores, gr, c.Table(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perm.MustNew(0, 3, 1, 4, 2, 5)
+	if !p.Equal(want) {
+		t.Fatalf("alternating optimum = %v, want %v", p, want)
+	}
+}
+
+func TestSolveInfeasibleBounds(t *testing.T) {
+	scores := []float64{1, 2}
+	gr := fairness.MustGroups([]int{0, 1}, 2)
+	c, _ := fairness.NewConstraints([]float64{0.9, 0.9}, []float64{1, 1})
+	// Prefix 1 needs ⌊0.9⌋=0 of each, prefix 2 needs ⌊1.8⌋=1 of each: ok.
+	// Make it infeasible with a perturbed table instead.
+	b := c.Table(2)
+	b.Lower[0][0] = 1
+	b.Lower[0][1] = 1 // prefix of length 1 cannot hold one of each
+	_, _, err := fairdp.Solve(scores, gr, b, nil)
+	if !errors.Is(err, fairdp.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveCustomDiscount(t *testing.T) {
+	// With a unit discount every feasible pattern has the same value:
+	// the total score.
+	scores := []float64{4, 3, 2, 1}
+	gr := fairness.MustGroups([]int{0, 1, 0, 1}, 2)
+	cns, _ := fairness.NewConstraints([]float64{0.4, 0.4}, []float64{0.6, 0.6})
+	_, v, err := fairdp.Solve(scores, gr, cns.Table(4), quality.UnitDiscount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-10) > 1e-12 {
+		t.Fatalf("unit-discount value = %v, want 10", v)
+	}
+}

@@ -1,0 +1,185 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constraints holds per-group proportionate-representation bounds: group
+// i must hold at least ⌊Alpha[i]·ℓ⌋ and at most ⌈Beta[i]·ℓ⌉ of every
+// constrained prefix of length ℓ.
+type Constraints struct {
+	Alpha []float64 // lower fractions, one per group
+	Beta  []float64 // upper fractions, one per group
+}
+
+// NewConstraints validates 0 ≤ α ≤ β ≤ 1 per group.
+func NewConstraints(alpha, beta []float64) (*Constraints, error) {
+	if len(alpha) != len(beta) {
+		return nil, fmt.Errorf("fairness: %d alphas vs %d betas", len(alpha), len(beta))
+	}
+	if len(alpha) == 0 {
+		return nil, fmt.Errorf("fairness: empty constraints")
+	}
+	for i := range alpha {
+		a, b := alpha[i], beta[i]
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return nil, fmt.Errorf("fairness: group %d has NaN bound", i)
+		}
+		if a < 0 || b > 1 || a > b {
+			return nil, fmt.Errorf("fairness: group %d bounds (α=%v, β=%v) violate 0 ≤ α ≤ β ≤ 1", i, a, b)
+		}
+	}
+	return &Constraints{
+		Alpha: append([]float64(nil), alpha...),
+		Beta:  append([]float64(nil), beta...),
+	}, nil
+}
+
+// Proportional builds constraints centred on each group's share of the
+// ground set, widened by tol on both sides (clamped into [0,1]).
+// tol = 0 yields the strictest proportional representation.
+func Proportional(gr *Groups, tol float64) (*Constraints, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("fairness: negative tolerance %v", tol)
+	}
+	shares := gr.Shares()
+	alpha := make([]float64, len(shares))
+	beta := make([]float64, len(shares))
+	for i, s := range shares {
+		alpha[i] = math.Max(0, s-tol)
+		beta[i] = math.Min(1, s+tol)
+	}
+	return NewConstraints(alpha, beta)
+}
+
+// NumGroups returns the number of groups the constraints cover.
+func (c *Constraints) NumGroups() int { return len(c.Alpha) }
+
+// LowerAt returns the minimum count of group g in a prefix of length ell:
+// ⌊α_g·ell⌋.
+func (c *Constraints) LowerAt(g, ell int) int {
+	return int(math.Floor(c.Alpha[g] * float64(ell)))
+}
+
+// UpperAt returns the maximum count of group g in a prefix of length ell:
+// ⌈β_g·ell⌉.
+func (c *Constraints) UpperAt(g, ell int) int {
+	return int(math.Ceil(c.Beta[g] * float64(ell)))
+}
+
+// Bounds is a materialized table of prefix bounds: Lower[ell-1][g] and
+// Upper[ell-1][g] bound the count of group g in the prefix of length ell,
+// for ell = 1…k. Rankers consume Bounds rather than Constraints so that
+// noisy-constraint variants (§V-C) can perturb the table.
+type Bounds struct {
+	Lower [][]int
+	Upper [][]int
+}
+
+// Table materializes the bounds for prefixes of length 1…k.
+func (c *Constraints) Table(k int) *Bounds {
+	g := len(c.Alpha)
+	b := &Bounds{
+		Lower: make([][]int, k),
+		Upper: make([][]int, k),
+	}
+	for ell := 1; ell <= k; ell++ {
+		lo := make([]int, g)
+		hi := make([]int, g)
+		for gid := 0; gid < g; gid++ {
+			lo[gid] = c.LowerAt(gid, ell)
+			hi[gid] = c.UpperAt(gid, ell)
+		}
+		b.Lower[ell-1] = lo
+		b.Upper[ell-1] = hi
+	}
+	return b
+}
+
+// K returns the number of prefix lengths the table covers.
+func (b *Bounds) K() int { return len(b.Lower) }
+
+// NumGroups returns the number of groups the table covers; zero for an
+// empty table.
+func (b *Bounds) NumGroups() int {
+	if len(b.Lower) == 0 {
+		return 0
+	}
+	return len(b.Lower[0])
+}
+
+// Clone deep-copies the table.
+func (b *Bounds) Clone() *Bounds {
+	nb := &Bounds{
+		Lower: make([][]int, len(b.Lower)),
+		Upper: make([][]int, len(b.Upper)),
+	}
+	for i := range b.Lower {
+		nb.Lower[i] = append([]int(nil), b.Lower[i]...)
+		nb.Upper[i] = append([]int(nil), b.Upper[i]...)
+	}
+	return nb
+}
+
+// Clamp restores the invariants 0 ≤ Lower ≤ Upper and Lower ≤ ell after a
+// perturbation, so that noisy tables remain syntactically usable (they
+// may of course still be unsatisfiable together with group sizes).
+func (b *Bounds) Clamp() {
+	for i := range b.Lower {
+		ell := i + 1
+		for g := range b.Lower[i] {
+			if b.Lower[i][g] < 0 {
+				b.Lower[i][g] = 0
+			}
+			if b.Lower[i][g] > ell {
+				b.Lower[i][g] = ell
+			}
+			if b.Upper[i][g] < b.Lower[i][g] {
+				b.Upper[i][g] = b.Lower[i][g]
+			}
+			if b.Upper[i][g] > ell {
+				b.Upper[i][g] = ell
+			}
+		}
+	}
+}
+
+// FeasibleForSizes reports whether a ranking of all items can satisfy the
+// table given per-group pool sizes: for every prefix length ell the lower
+// bounds must be jointly coverable (Σ lower ≤ ell), the upper bounds must
+// jointly admit ell items (Σ min(upper, size) ≥ ell), and no group's
+// lower bound may exceed its pool.
+//
+// These conditions are necessary; they are also sufficient for bound
+// tables derived from Constraints because ⌊α·ℓ⌋/⌈β·ℓ⌉ grow by at most one
+// per step, but arbitrary perturbed tables may pass this check and still
+// be infeasible (the DP ranker detects that exactly).
+func (b *Bounds) FeasibleForSizes(sizes []int) error {
+	if len(sizes) != b.NumGroups() && b.K() > 0 {
+		return fmt.Errorf("fairness: %d sizes vs %d groups", len(sizes), b.NumGroups())
+	}
+	for i := range b.Lower {
+		ell := i + 1
+		sumLo, sumHi := 0, 0
+		for g := range b.Lower[i] {
+			if b.Lower[i][g] > sizes[g] {
+				return fmt.Errorf("fairness: prefix %d needs %d of group %d but pool has %d",
+					ell, b.Lower[i][g], g, sizes[g])
+			}
+			sumLo += b.Lower[i][g]
+			hi := b.Upper[i][g]
+			if hi > sizes[g] {
+				hi = sizes[g]
+			}
+			sumHi += hi
+		}
+		if sumLo > ell {
+			return fmt.Errorf("fairness: prefix %d lower bounds sum to %d > %d", ell, sumLo, ell)
+		}
+		if sumHi < ell {
+			return fmt.Errorf("fairness: prefix %d upper bounds admit only %d < %d items", ell, sumHi, ell)
+		}
+	}
+	return nil
+}

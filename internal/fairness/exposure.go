@@ -1,0 +1,95 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perm"
+)
+
+// Exposure metrics complement the prefix-count view of P-fairness with
+// the position-discount view of the fairness-in-ranking literature the
+// paper surveys (Zehlike, Yang, Stoyanovich — "Fairness in Ranking"):
+// a rank carries attention proportional to a discount, and a group's
+// exposure is the attention its members collect.
+
+// ExposureDiscount maps a 1-based rank to its attention weight.
+type ExposureDiscount func(rank int) float64
+
+// LogExposure is the standard 1/log₂(1+rank) attention model (the same
+// discount DCG uses).
+func LogExposure(rank int) float64 { return 1 / math.Log2(float64(1+rank)) }
+
+// GroupExposure returns each group's share of the total attention of
+// the ranking under the discount (entries sum to 1 for non-empty
+// rankings). A nil discount means LogExposure.
+func GroupExposure(p perm.Perm, gr *Groups, disc ExposureDiscount) ([]float64, error) {
+	if gr.NumItems() < len(p) {
+		return nil, fmt.Errorf("fairness: groups cover %d items, ranking has %d", gr.NumItems(), len(p))
+	}
+	if disc == nil {
+		disc = LogExposure
+	}
+	exposure := make([]float64, gr.NumGroups())
+	var total float64
+	for r, item := range p {
+		w := disc(r + 1)
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("fairness: discount at rank %d is %v", r+1, w)
+		}
+		exposure[gr.Of(item)] += w
+		total += w
+	}
+	if total > 0 {
+		for g := range exposure {
+			exposure[g] /= total
+		}
+	}
+	return exposure, nil
+}
+
+// DisparateExposure returns the minimum over groups of
+// (exposure share)/(population share) — 1 means every group receives
+// attention exactly proportional to its size, smaller values mean the
+// worst-off group is under-exposed by that factor. Groups with no
+// members are skipped; if every group is empty the ratio is defined
+// as 1.
+func DisparateExposure(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64, error) {
+	exposure, err := GroupExposure(p, gr, disc)
+	if err != nil {
+		return 0, err
+	}
+	shares := gr.Shares()
+	worst := math.Inf(1)
+	for g := range exposure {
+		if shares[g] == 0 {
+			continue
+		}
+		ratio := exposure[g] / shares[g]
+		if ratio < worst {
+			worst = ratio
+		}
+	}
+	if math.IsInf(worst, 1) {
+		return 1, nil
+	}
+	return worst, nil
+}
+
+// ExposureGap returns the largest absolute difference between any
+// group's exposure share and its population share; 0 means perfectly
+// proportional attention.
+func ExposureGap(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64, error) {
+	exposure, err := GroupExposure(p, gr, disc)
+	if err != nil {
+		return 0, err
+	}
+	shares := gr.Shares()
+	var gap float64
+	for g := range exposure {
+		if d := math.Abs(exposure[g] - shares[g]); d > gap {
+			gap = d
+		}
+	}
+	return gap, nil
+}

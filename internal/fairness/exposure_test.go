@@ -1,0 +1,128 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestGroupExposureSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 50; trial++ {
+		d := 1 + rng.Intn(20)
+		g := 1 + rng.Intn(4)
+		assign := make([]int, d)
+		for i := range assign {
+			assign[i] = rng.Intn(g)
+		}
+		gr := MustGroups(assign, g)
+		p := perm.Random(d, rng)
+		exp, err := GroupExposure(p, gr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, e := range exp {
+			if e < 0 {
+				t.Fatalf("negative exposure %v", e)
+			}
+			sum += e
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("exposure sums to %v", sum)
+		}
+	}
+}
+
+func TestExposureFavorsTopRanks(t *testing.T) {
+	// Two singleton groups: the top item's group must receive more
+	// exposure than the bottom item's.
+	gr := MustGroups([]int{0, 1}, 2)
+	exp, err := GroupExposure(perm.Identity(2), gr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp[0] <= exp[1] {
+		t.Fatalf("top group exposure %v not above bottom %v", exp[0], exp[1])
+	}
+}
+
+func TestDisparateExposureBounds(t *testing.T) {
+	// Segregated ranking: group at the bottom is under-exposed.
+	gr := MustGroups([]int{0, 0, 1, 1}, 2)
+	seg := perm.Identity(4)
+	ratio, err := DisparateExposure(seg, gr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 1 || ratio <= 0 {
+		t.Fatalf("segregated disparate exposure = %v", ratio)
+	}
+	// A perfectly balanced two-item ranking per group at alternating
+	// positions is closer to 1 than the segregated one.
+	alt := perm.MustNew(0, 2, 1, 3)
+	ratioAlt, err := DisparateExposure(alt, gr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratioAlt <= ratio {
+		t.Fatalf("alternating ratio %v not above segregated %v", ratioAlt, ratio)
+	}
+}
+
+func TestExposureGap(t *testing.T) {
+	gr := MustGroups([]int{0, 0, 1, 1}, 2)
+	gap, err := ExposureGap(perm.Identity(4), gr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 0 || gap > 0.5 {
+		t.Fatalf("segregated gap = %v", gap)
+	}
+	// Uniform discount makes exposure equal the population share: gap 0.
+	unit := func(int) float64 { return 1 }
+	gap, err = ExposureGap(perm.Identity(4), gr, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 1e-12 {
+		t.Fatalf("unit-discount gap = %v", gap)
+	}
+}
+
+func TestExposureErrors(t *testing.T) {
+	gr := MustGroups([]int{0}, 1)
+	if _, err := GroupExposure(perm.Identity(2), gr, nil); err == nil {
+		t.Error("accepted ranking larger than groups")
+	}
+	bad := func(int) float64 { return math.NaN() }
+	if _, err := GroupExposure(perm.Identity(1), gr, bad); err == nil {
+		t.Error("accepted NaN discount")
+	}
+	neg := func(int) float64 { return -1 }
+	if _, err := ExposureGap(perm.Identity(1), gr, neg); err == nil {
+		t.Error("accepted negative discount")
+	}
+}
+
+func TestExposureEmptyRanking(t *testing.T) {
+	gr := MustGroups([]int{0, 1}, 2)
+	exp, err := GroupExposure(perm.Perm{}, gr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp[0] != 0 || exp[1] != 0 {
+		t.Fatalf("empty ranking exposure = %v", exp)
+	}
+	ratio, err := DisparateExposure(perm.Perm{}, gr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 0 {
+		// Both groups have population share 0.5 but zero exposure →
+		// worst ratio 0.
+		t.Fatalf("empty ranking disparate exposure = %v", ratio)
+	}
+}

@@ -1,0 +1,188 @@
+package fairness
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// PrefixCounts returns counts[ell-1][g] = number of items of group g in
+// the first ell ranks of p, for ell = 1…len(p).
+func PrefixCounts(p perm.Perm, gr *Groups) [][]int {
+	counts := make([][]int, len(p))
+	running := make([]int, gr.NumGroups())
+	for r, item := range p {
+		running[gr.Of(item)]++
+		counts[r] = append([]int(nil), running...)
+	}
+	return counts
+}
+
+// Violations holds, per prefix length, whether any group breaches its
+// lower or upper bound there.
+type Violations struct {
+	Lower []bool // Lower[ell-1]: some group under-represented in prefix ell
+	Upper []bool // Upper[ell-1]: some group over-represented in prefix ell
+}
+
+// EvaluateViolations scans every prefix of p against the bound table.
+// The table must cover at least len(p) prefixes.
+func EvaluateViolations(p perm.Perm, gr *Groups, b *Bounds) (*Violations, error) {
+	if b.K() < len(p) {
+		return nil, fmt.Errorf("fairness: bounds cover %d prefixes, ranking has %d", b.K(), len(p))
+	}
+	if gr.NumItems() < len(p) {
+		return nil, fmt.Errorf("fairness: groups cover %d items, ranking has %d", gr.NumItems(), len(p))
+	}
+	v := &Violations{
+		Lower: make([]bool, len(p)),
+		Upper: make([]bool, len(p)),
+	}
+	running := make([]int, gr.NumGroups())
+	for r, item := range p {
+		running[gr.Of(item)]++
+		ell := r
+		for g, cnt := range running {
+			if cnt < b.Lower[ell][g] {
+				v.Lower[ell] = true
+			}
+			if cnt > b.Upper[ell][g] {
+				v.Upper[ell] = true
+			}
+		}
+	}
+	return v, nil
+}
+
+// LowerCount returns the number of prefixes with a lower-bound violation
+// (the paper's LowerViol).
+func (v *Violations) LowerCount() int { return countTrue(v.Lower) }
+
+// UpperCount returns the number of prefixes with an upper-bound violation
+// (the paper's UpperViol).
+func (v *Violations) UpperCount() int { return countTrue(v.Upper) }
+
+// TwoSided returns LowerViol + UpperViol, the paper's Two-Sided
+// Infeasible Index (Definition 3). A prefix violating both sides (one
+// group under- while another over-represented) contributes 2.
+func (v *Violations) TwoSided() int { return v.LowerCount() + v.UpperCount() }
+
+// UnionCount returns the number of prefixes with any violation. Unlike
+// TwoSided it never exceeds the ranking length.
+func (v *Violations) UnionCount() int {
+	n := 0
+	for i := range v.Lower {
+		if v.Lower[i] || v.Upper[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TwoSidedInfeasibleIndex evaluates Definition 3 directly with bounds
+// derived from c over every prefix of p.
+func TwoSidedInfeasibleIndex(p perm.Perm, gr *Groups, c *Constraints) (int, error) {
+	v, err := EvaluateViolations(p, gr, c.Table(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	return v.TwoSided(), nil
+}
+
+// PPfair evaluates Definition 4, the percentage of P-fair positions:
+// 100·(1 − TwoSidedInfInd(π)/|π|). Because the two-sided index can reach
+// 2|π|, the literal definition can be negative; callers wanting a
+// [0,100] quantity should use PPfairUnion.
+func PPfair(p perm.Perm, gr *Groups, c *Constraints) (float64, error) {
+	if len(p) == 0 {
+		return 100, nil
+	}
+	ii, err := TwoSidedInfeasibleIndex(p, gr, c)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (1 - float64(ii)/float64(len(p))), nil
+}
+
+// PPfairAt evaluates Definition 4 over the first k prefixes only:
+// 100·(1 − (LowerViol + UpperViol among prefixes 1…k)/k). This is the
+// natural audit for shortlist settings where only the top of the
+// ranking is consumed.
+func PPfairAt(p perm.Perm, gr *Groups, c *Constraints, k int) (float64, error) {
+	if k < 1 || k > len(p) {
+		return 0, fmt.Errorf("fairness: k = %d outside [1,%d]", k, len(p))
+	}
+	v, err := EvaluateViolations(p, gr, c.Table(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	ii := 0
+	for ell := 1; ell <= k; ell++ {
+		if v.Lower[ell-1] {
+			ii++
+		}
+		if v.Upper[ell-1] {
+			ii++
+		}
+	}
+	return 100 * (1 - float64(ii)/float64(k)), nil
+}
+
+// PPfairUnion is the percentage of prefixes with no violation of either
+// side; always within [0,100].
+func PPfairUnion(p perm.Perm, gr *Groups, c *Constraints) (float64, error) {
+	if len(p) == 0 {
+		return 100, nil
+	}
+	v, err := EvaluateViolations(p, gr, c.Table(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (1 - float64(v.UnionCount())/float64(len(p))), nil
+}
+
+// IsKFair reports whether p is (α,β)-k fair (Definition 1): every prefix
+// of length at least k satisfies the bounds.
+func IsKFair(p perm.Perm, gr *Groups, c *Constraints, k int) (bool, error) {
+	if k < 1 || k > len(p) {
+		return false, fmt.Errorf("fairness: k = %d outside [1,%d]", k, len(p))
+	}
+	v, err := EvaluateViolations(p, gr, c.Table(len(p)))
+	if err != nil {
+		return false, err
+	}
+	for ell := k; ell <= len(p); ell++ {
+		if v.Lower[ell-1] || v.Upper[ell-1] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IsWeaklyKFair reports whether p is (α,β)-weak k-fair (Definition 2):
+// the prefix of length exactly k satisfies the bounds.
+func IsWeaklyKFair(p perm.Perm, gr *Groups, c *Constraints, k int) (bool, error) {
+	if k < 1 || k > len(p) {
+		return false, fmt.Errorf("fairness: k = %d outside [1,%d]", k, len(p))
+	}
+	counts := make([]int, gr.NumGroups())
+	for r := 0; r < k; r++ {
+		counts[gr.Of(p[r])]++
+	}
+	for g, cnt := range counts {
+		if cnt < c.LowerAt(g, k) || cnt > c.UpperAt(g, k) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

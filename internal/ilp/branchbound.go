@@ -1,0 +1,177 @@
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Problem is a maximization mixed-integer linear program over x ≥ 0.
+type Problem struct {
+	Objective   []float64
+	Constraints []Constraint
+	// Integer[j] marks variable j as integral. A nil slice means all
+	// variables are continuous (plain LP).
+	Integer []bool
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (0 = default 1e6).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 = default 1e-6).
+	IntTol float64
+}
+
+type node struct {
+	extra []Constraint
+	bound float64
+	depth int
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound } // best bound first
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve maximizes the problem with best-first branch and bound over the
+// LP relaxation. The returned Status is Optimal, Infeasible (no integral
+// point), Unbounded (relaxation unbounded), or IterationLimit (node or
+// pivot cap hit before the tree was exhausted).
+func Solve(p Problem, opts Options) (Solution, error) {
+	if p.Integer != nil && len(p.Integer) != len(p.Objective) {
+		return Solution{}, fmt.Errorf("ilp: %d integrality flags for %d variables", len(p.Integer), len(p.Objective))
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 1_000_000
+	}
+	intTol := opts.IntTol
+	if intTol == 0 {
+		intTol = 1e-6
+	}
+
+	rootSol, err := SolveLP(p.Objective, p.Constraints)
+	if err != nil {
+		return Solution{}, err
+	}
+	if rootSol.Status != Optimal {
+		return Solution{Status: rootSol.Status}, nil
+	}
+	if branchVar(rootSol.X, p.Integer, intTol) < 0 {
+		return rootSol, nil
+	}
+
+	best := Solution{Status: Infeasible, Objective: math.Inf(-1)}
+	h := &nodeHeap{{bound: rootSol.Objective}}
+	heap.Init(h)
+	nodes := 0
+	for h.Len() > 0 {
+		nodes++
+		if nodes > maxNodes {
+			if best.Status == Optimal {
+				best.Status = IterationLimit
+			} else {
+				return Solution{Status: IterationLimit}, nil
+			}
+			return best, nil
+		}
+		nd := heap.Pop(h).(*node)
+		if best.Status == Optimal && nd.bound <= best.Objective+1e-9 {
+			continue // cannot improve the incumbent
+		}
+		cons := append(append([]Constraint(nil), p.Constraints...), nd.extra...)
+		sol, err := SolveLP(p.Objective, cons)
+		if err != nil {
+			return Solution{}, err
+		}
+		switch sol.Status {
+		case Infeasible:
+			continue
+		case Unbounded:
+			return Solution{Status: Unbounded}, nil
+		case IterationLimit:
+			return Solution{Status: IterationLimit}, nil
+		}
+		if best.Status == Optimal && sol.Objective <= best.Objective+1e-9 {
+			continue
+		}
+		j := branchVar(sol.X, p.Integer, intTol)
+		if j < 0 {
+			if best.Status != Optimal || sol.Objective > best.Objective {
+				best = Solution{X: roundIntegral(sol.X, p.Integer, intTol), Objective: sol.Objective, Status: Optimal}
+			}
+			continue
+		}
+		v := sol.X[j]
+		down := boundConstraint(len(p.Objective), j, LE, math.Floor(v))
+		up := boundConstraint(len(p.Objective), j, GE, math.Ceil(v))
+		heap.Push(h, &node{
+			extra: append(append([]Constraint(nil), nd.extra...), down),
+			bound: sol.Objective,
+			depth: nd.depth + 1,
+		})
+		heap.Push(h, &node{
+			extra: append(append([]Constraint(nil), nd.extra...), up),
+			bound: sol.Objective,
+			depth: nd.depth + 1,
+		})
+	}
+	return best, nil
+}
+
+// branchVar picks the integral variable whose value is farthest from an
+// integer (most fractional); −1 when all integral variables are settled.
+func branchVar(x []float64, integer []bool, intTol float64) int {
+	bestJ, bestFrac := -1, intTol
+	for j, v := range x {
+		if integer != nil && !integer[j] {
+			continue
+		}
+		if integer == nil {
+			continue
+		}
+		f := math.Abs(v - math.Round(v))
+		if f > bestFrac {
+			bestFrac = f
+			bestJ = j
+		}
+	}
+	return bestJ
+}
+
+// roundIntegral snaps near-integral entries exactly, leaving continuous
+// variables untouched.
+func roundIntegral(x []float64, integer []bool, intTol float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j := range out {
+		if integer != nil && integer[j] && math.Abs(out[j]-math.Round(out[j])) <= intTol {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+func boundConstraint(n, j int, rel Relation, rhs float64) Constraint {
+	coeffs := make([]float64, n)
+	coeffs[j] = 1
+	return Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs}
+}
+
+// AllInteger returns an all-true integrality mask for n variables.
+func AllInteger(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}

@@ -1,0 +1,321 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveLPSimple(t *testing.T) {
+	// max 3x + 2y  s.t. x + y ≤ 4, x ≤ 2 → x=2, y=2, obj=10.
+	sol, err := SolveLP(
+		[]float64{3, 2},
+		[]Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 2},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almost(sol.Objective, 10) || !almost(sol.X[0], 2) || !almost(sol.X[1], 2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPWithGEAndEQ(t *testing.T) {
+	// max x + y  s.t. x + y = 3, x ≥ 1, y ≤ 1.5 → obj 3 with x ≥ 1.5.
+	sol, err := SolveLP(
+		[]float64{1, 1},
+		[]Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 3},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1.5},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 3) {
+		t.Fatalf("sol = %+v", sol)
+	}
+	if sol.X[0]+sol.X[1] < 3-1e-6 || sol.X[0] < 1-1e-6 || sol.X[1] > 1.5+1e-6 {
+		t.Fatalf("constraints violated: %+v", sol)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// x − y ≤ −1 with b<0 must be normalized correctly.
+	// max x s.t. x − y ≤ −1, y ≤ 2 → x = 1 at y = 2.
+	sol, err := SolveLP(
+		[]float64{1, 0},
+		[]Constraint{
+			{Coeffs: []float64{1, -1}, Rel: LE, RHS: -1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 2},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 1) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	sol, err := SolveLP(
+		[]float64{1},
+		[]Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 3},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	sol, err := SolveLP(
+		[]float64{1, 1},
+		[]Constraint{
+			{Coeffs: []float64{1, -1}, Rel: LE, RHS: 1},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveLPDegenerate(t *testing.T) {
+	// Redundant constraints at the optimum (classic degeneracy) must not
+	// cycle thanks to Bland's rule.
+	sol, err := SolveLP(
+		[]float64{1, 1},
+		[]Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 2},
+			{Coeffs: []float64{2, 2}, Rel: LE, RHS: 4},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPValidation(t *testing.T) {
+	if _, err := SolveLP([]float64{1}, []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}); err == nil {
+		t.Error("accepted constraint wider than objective")
+	}
+	if _, err := SolveLP([]float64{math.NaN()}, nil); err == nil {
+		t.Error("accepted NaN objective")
+	}
+	if _, err := SolveLP([]float64{1}, []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: math.NaN()}}); err == nil {
+		t.Error("accepted NaN rhs")
+	}
+}
+
+func TestSolveLPShortCoeffsZeroPadded(t *testing.T) {
+	// Constraint narrower than the variable count applies to a prefix.
+	sol, err := SolveLP(
+		[]float64{1, 1},
+		[]Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 2},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 3) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveILPRequiresBranching(t *testing.T) {
+	// max x + y s.t. 2x + 2y ≤ 3: LP gives 1.5, ILP 1.
+	sol, err := Solve(Problem{
+		Objective:   []float64{1, 1},
+		Constraints: []Constraint{{Coeffs: []float64{2, 2}, Rel: LE, RHS: 3}},
+		Integer:     AllInteger(2),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 1) {
+		t.Fatalf("sol = %+v", sol)
+	}
+	for _, v := range sol.X {
+		if math.Abs(v-math.Round(v)) > 1e-6 {
+			t.Fatalf("non-integral solution %v", sol.X)
+		}
+	}
+}
+
+func TestSolveILPKnapsack(t *testing.T) {
+	// 0/1 knapsack: values 10,13,7,8; weights 3,4,2,3; capacity 6.
+	// Optimum: items 1+2 (13+7=20, weight 6); greedy-by-value would take
+	// item 0 and strand capacity.
+	n := 4
+	values := []float64{10, 13, 7, 8}
+	weights := []float64{3, 4, 2, 3}
+	cons := []Constraint{{Coeffs: weights, Rel: LE, RHS: 6}}
+	for j := 0; j < n; j++ {
+		cons = append(cons, boundConstraint(n, j, LE, 1))
+	}
+	sol, err := Solve(Problem{Objective: values, Constraints: cons, Integer: AllInteger(n)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 20) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveILPInfeasible(t *testing.T) {
+	// 2x = 1 has no integral solution but a feasible relaxation.
+	sol, err := Solve(Problem{
+		Objective:   []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{2}, Rel: EQ, RHS: 1}},
+		Integer:     AllInteger(1),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveContinuousPassThrough(t *testing.T) {
+	sol, err := Solve(Problem{
+		Objective:   []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{2}, Rel: EQ, RHS: 1}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almost(sol.Objective, 0.5) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Problem{Objective: []float64{1, 2}, Integer: []bool{true}}, Options{}); err == nil {
+		t.Error("accepted mismatched integrality mask")
+	}
+}
+
+// bruteAssignment enumerates all assignments of n items to n positions.
+func bruteAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	permute := make([]int, n)
+	for i := range permute {
+		permute[i] = i
+	}
+	best := math.Inf(-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var v float64
+			for i, j := range permute {
+				v += cost[i][j]
+			}
+			if v > best {
+				best = v
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			permute[k], permute[i] = permute[i], permute[k]
+			rec(k + 1)
+			permute[k], permute[i] = permute[i], permute[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestSolveAssignmentMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(3) // 3..5
+		cost := make([][]float64, n)
+		obj := make([]float64, n*n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Float64()*100) / 10
+				obj[i*n+j] = cost[i][j]
+			}
+		}
+		var cons []Constraint
+		for i := 0; i < n; i++ { // each item exactly once
+			c := make([]float64, n*n)
+			for j := 0; j < n; j++ {
+				c[i*n+j] = 1
+			}
+			cons = append(cons, Constraint{Coeffs: c, Rel: EQ, RHS: 1})
+		}
+		for j := 0; j < n; j++ { // each position exactly once
+			c := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				c[i*n+j] = 1
+			}
+			cons = append(cons, Constraint{Coeffs: c, Rel: EQ, RHS: 1})
+		}
+		sol, err := Solve(Problem{Objective: obj, Constraints: cons, Integer: AllInteger(n * n)}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAssignment(cost)
+		if sol.Status != Optimal || !almost(sol.Objective, want) {
+			t.Fatalf("n=%d assignment = %+v, want %v", n, sol.Objective, want)
+		}
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem that needs branching with MaxNodes=1 must report the cap.
+	sol, err := Solve(Problem{
+		Objective: []float64{1, 1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2, 2, 2}, Rel: LE, RHS: 5},
+		},
+		Integer: AllInteger(3),
+	}, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterationLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("relation strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterationLimit.String() != "iteration-limit" {
+		t.Error("status strings wrong")
+	}
+	if Relation(9).String() != "?" || Status(9).String() != "unknown" {
+		t.Error("fallback strings wrong")
+	}
+}

@@ -1,0 +1,379 @@
+// Package ilp implements a dependency-free linear and integer linear
+// programming solver: a dense two-phase primal simplex with Bland's
+// anti-cycling rule, and a best-first branch-and-bound on top of it.
+//
+// It exists because the paper's §IV-B formulates the DCG-optimal
+// (α,β)-fair ranking as an ILP and the evaluation runs that ILP; this
+// module must work offline with the standard library only. The solver
+// targets correctness and the moderate sizes of those instances, not
+// industrial scale. internal/fairdp solves the same fairness instances by
+// dynamic programming and cross-checks this solver in tests.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation orders a constraint row against its right-hand side.
+type Relation int
+
+const (
+	LE Relation = iota // Σ aᵢxᵢ ≤ b
+	GE                 // Σ aᵢxᵢ ≥ b
+	EQ                 // Σ aᵢxᵢ = b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is one row: Coeffs·x Rel RHS. Coeffs shorter than the
+// variable count are implicitly zero-padded.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of an LP or ILP solve. X has one entry per
+// variable; Objective is the attained maximum. X and Objective are only
+// meaningful when Status == Optimal.
+type Solution struct {
+	X         []float64
+	Objective float64
+	Status    Status
+}
+
+const (
+	tol = 1e-9
+	// maxPivots bounds simplex iterations; Bland's rule guarantees
+	// termination but a generous cap turns pathological inputs into a
+	// reported status instead of a hang.
+	maxPivots = 200000
+)
+
+// SolveLP maximizes objective·x subject to cons and x ≥ 0 using the
+// two-phase primal simplex method.
+func SolveLP(objective []float64, cons []Constraint) (Solution, error) {
+	n := len(objective)
+	for i, c := range cons {
+		if len(c.Coeffs) > n {
+			return Solution{}, fmt.Errorf("ilp: constraint %d has %d coefficients, objective has %d", i, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) {
+			return Solution{}, fmt.Errorf("ilp: constraint %d has NaN rhs", i)
+		}
+	}
+	for j, v := range objective {
+		if math.IsNaN(v) {
+			return Solution{}, fmt.Errorf("ilp: objective coefficient %d is NaN", j)
+		}
+	}
+
+	t := newTableau(objective, cons)
+	if status := t.phase1(); status != Optimal {
+		return Solution{Status: status}, nil
+	}
+	status := t.phase2()
+	if status != Optimal {
+		return Solution{Status: status}, nil
+	}
+	return Solution{X: t.extract(), Objective: t.objectiveValue(), Status: Optimal}, nil
+}
+
+// tableau is a dense simplex tableau. Column layout:
+// [0, n)              original variables
+// [n, n+slacks)       slack/surplus variables
+// [n+slacks, total)   artificial variables
+// plus an rhs column held separately.
+type tableau struct {
+	n      int // original variables
+	m      int // rows
+	slacks int
+	arts   int
+	rows   [][]float64 // m × totalCols
+	rhs    []float64   // m
+	basis  []int       // basic variable of each row
+	obj    []float64   // original objective, length n
+	cost   []float64   // current objective row over all columns
+	costC  float64     // current objective constant
+}
+
+func newTableau(objective []float64, cons []Constraint) *tableau {
+	m := len(cons)
+	n := len(objective)
+	slacks, arts := 0, 0
+	for _, c := range cons {
+		switch c.Rel {
+		case LE, GE:
+			slacks++
+		}
+	}
+	// Artificial count depends on sign-normalized relations; compute
+	// after normalization below, so first copy rows.
+	type row struct {
+		a   []float64
+		rel Relation
+		b   float64
+	}
+	rowsIn := make([]row, m)
+	for i, c := range cons {
+		a := make([]float64, n)
+		copy(a, c.Coeffs)
+		rel, b := c.Rel, c.RHS
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rowsIn[i] = row{a: a, rel: rel, b: b}
+	}
+	slacks = 0
+	for _, r := range rowsIn {
+		if r.rel == LE || r.rel == GE {
+			slacks++
+		}
+		if r.rel == GE || r.rel == EQ {
+			arts++
+		}
+	}
+	total := n + slacks + arts
+	t := &tableau{
+		n:      n,
+		m:      m,
+		slacks: slacks,
+		arts:   arts,
+		rows:   make([][]float64, m),
+		rhs:    make([]float64, m),
+		basis:  make([]int, m),
+		obj:    append([]float64(nil), objective...),
+	}
+	slackCol := n
+	artCol := n + slacks
+	for i, r := range rowsIn {
+		t.rows[i] = make([]float64, total)
+		copy(t.rows[i], r.a)
+		t.rhs[i] = r.b
+		switch r.rel {
+		case LE:
+			t.rows[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.rows[i][slackCol] = -1
+			slackCol++
+			t.rows[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.rows[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+// setCost installs an objective over all columns and expresses it in
+// terms of the nonbasic variables (reduced costs) by eliminating the
+// basic columns.
+func (t *tableau) setCost(c []float64, constant float64) {
+	t.cost = append([]float64(nil), c...)
+	t.costC = constant
+	for i, bv := range t.basis {
+		coef := t.cost[bv]
+		if coef == 0 {
+			continue
+		}
+		for j := range t.cost {
+			t.cost[j] -= coef * t.rows[i][j]
+		}
+		t.costC += coef * t.rhs[i]
+	}
+}
+
+// pivot performs a basis exchange at (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.rhs[row] *= inv
+	pr[col] = 1 // fight rounding
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+		t.rhs[i] -= f * t.rhs[row]
+	}
+	f := t.cost[col]
+	if f != 0 {
+		for j := range t.cost {
+			t.cost[j] -= f * pr[j]
+		}
+		t.cost[col] = 0
+		t.costC += f * t.rhs[row]
+	}
+	t.basis[row] = col
+}
+
+// iterate runs primal simplex pivots with Bland's rule (first improving
+// column, smallest-index leaving variable) until optimality, an
+// unbounded ray, or the iteration cap. forbid marks columns that may not
+// enter (used to keep artificials out in phase 2).
+func (t *tableau) iterate(forbid func(col int) bool) Status {
+	for iter := 0; iter < maxPivots; iter++ {
+		// Bland: entering column = lowest index with positive reduced cost.
+		col := -1
+		for j := range t.cost {
+			if forbid != nil && forbid(j) {
+				continue
+			}
+			if t.cost[j] > tol {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal
+		}
+		// Ratio test; Bland tie-break on lowest basis variable index.
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][col]
+			if a <= tol {
+				continue
+			}
+			ratio := t.rhs[i] / a
+			if ratio < best-tol || (ratio < best+tol && (row < 0 || t.basis[i] < t.basis[row])) {
+				best = ratio
+				row = i
+			}
+		}
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+	return IterationLimit
+}
+
+// phase1 finds a basic feasible solution by minimizing the artificial
+// sum; afterwards artificial variables are pivoted out of the basis.
+func (t *tableau) phase1() Status {
+	if t.arts == 0 {
+		return Optimal
+	}
+	c := make([]float64, t.n+t.slacks+t.arts)
+	for j := t.n + t.slacks; j < len(c); j++ {
+		c[j] = -1 // maximize −Σ artificials
+	}
+	t.setCost(c, 0)
+	status := t.iterate(nil)
+	if status != Optimal {
+		return status
+	}
+	if t.costC < -1e-7 {
+		return Infeasible
+	}
+	// Drive any remaining zero-valued artificial out of the basis.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n+t.slacks {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.n+t.slacks; j++ {
+			if math.Abs(t.rows[i][j]) > tol {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: every structural coefficient is zero; the
+			// artificial stays basic at value zero, which is harmless as
+			// long as it never re-enters (phase 2 forbids that).
+			continue
+		}
+	}
+	return Optimal
+}
+
+func (t *tableau) phase2() Status {
+	c := make([]float64, t.n+t.slacks+t.arts)
+	copy(c, t.obj)
+	t.setCost(c, 0)
+	artStart := t.n + t.slacks
+	return t.iterate(func(col int) bool { return col >= artStart })
+}
+
+// extract reads the original-variable values off the basis.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.n)
+	for i, bv := range t.basis {
+		if bv < t.n {
+			x[bv] = t.rhs[i]
+		}
+	}
+	return x
+}
+
+func (t *tableau) objectiveValue() float64 {
+	v := t.costC
+	// costC accumulated during phase 2 equals c·x for the current basis:
+	// setCost folded basic contributions into the constant and iterate
+	// kept it updated on every pivot.
+	return v
+}

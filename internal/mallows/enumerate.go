@@ -1,0 +1,64 @@
+package mallows
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistanceCounts returns the Mahonian numbers T(n, d): the number of
+// permutations of n items at Kendall tau distance d from any fixed
+// center, for d = 0 … n(n−1)/2. Computed by the inversion-table DP
+// T_j = T_{j−1} * (1 + x + … + x^{j−1}) in O(n·maxD) time.
+//
+// Counts are returned as float64 because they exceed int64 for n ≳ 20;
+// relative error stays at machine precision for the sizes used here.
+func DistanceCounts(n int) []float64 {
+	maxD := int(MaxDistance(n))
+	counts := make([]float64, maxD+1)
+	counts[0] = 1
+	cur := 0 // current max distance
+	for j := 2; j <= n; j++ {
+		next := cur + j - 1
+		// Multiply by (1 + x + … + x^{j−1}) using a sliding window sum.
+		out := make([]float64, next+1)
+		var window float64
+		for d := 0; d <= next; d++ {
+			window += at(counts, d)
+			if d-j >= 0 {
+				window -= at(counts, d-j)
+			}
+			out[d] = window
+		}
+		copy(counts, out)
+		cur = next
+	}
+	return counts[:maxD+1]
+}
+
+func at(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}
+
+// DistanceDistribution returns P[d_KT(π, π₀) = d] for d = 0 … n(n−1)/2
+// under M(π₀, θ): T(n,d)·e^{−θd}/Z_n(θ).
+func DistanceDistribution(n int, theta float64) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mallows: negative n %d", n)
+	}
+	if math.IsNaN(theta) || theta < 0 {
+		return nil, fmt.Errorf("mallows: dispersion θ = %v, want ≥ 0", theta)
+	}
+	counts := DistanceCounts(n)
+	logZ := LogZ(n, theta)
+	probs := make([]float64, len(counts))
+	for d, c := range counts {
+		if c == 0 {
+			continue
+		}
+		probs[d] = math.Exp(math.Log(c) - theta*float64(d) - logZ)
+	}
+	return probs, nil
+}

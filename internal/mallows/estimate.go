@@ -1,0 +1,91 @@
+package mallows
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perm"
+	"repro/internal/rankdist"
+)
+
+// EstimateTheta returns the maximum-likelihood dispersion for samples
+// drawn around a known center. For the Mallows model the likelihood in θ
+// depends on the data only through the mean Kendall tau distance d̄, and
+// the MLE solves E_θ[D] = d̄, which is strictly decreasing in θ; we
+// bisect.
+//
+// If d̄ is at least the uniform-distribution mean n(n−1)/4 the MLE is
+// θ = 0; if d̄ = 0 the likelihood increases without bound and the
+// function returns MaxTheta.
+func EstimateTheta(samples []perm.Perm, center perm.Perm) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("mallows: no samples")
+	}
+	var total int64
+	for i, s := range samples {
+		d, err := rankdist.KendallTau(s, center)
+		if err != nil {
+			return 0, fmt.Errorf("mallows: sample %d: %w", i, err)
+		}
+		total += d
+	}
+	n := len(center)
+	mean := float64(total) / float64(len(samples))
+	if mean >= ExpectedDistance(n, 0) {
+		return 0, nil
+	}
+	if mean == 0 {
+		return MaxTheta, nil
+	}
+	lo, hi := 0.0, MaxTheta
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if ExpectedDistance(n, mid) > mean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// MaxTheta caps the dispersion returned by EstimateTheta; at θ = 50 the
+// probability of even a single discordant pair is below e^{−50} ≈ 2e−22.
+const MaxTheta = 50.0
+
+// EstimateCenterBorda returns the Borda-count consensus of the samples:
+// items ordered by their mean rank. Borda is a consistent estimator of
+// the Mallows center and a 5-approximation for Kemeny aggregation; exact
+// center MLE is NP-hard in general.
+func EstimateCenterBorda(samples []perm.Perm) (perm.Perm, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("mallows: no samples")
+	}
+	n := len(samples[0])
+	sums := make([]float64, n)
+	for i, s := range samples {
+		if len(s) != n {
+			return nil, fmt.Errorf("mallows: sample %d has %d items, want %d", i, len(s), n)
+		}
+		for r, item := range s {
+			sums[item] += float64(r)
+		}
+	}
+	center := perm.Identity(n)
+	sort.SliceStable(center, func(a, b int) bool { return sums[center[a]] < sums[center[b]] })
+	return center, nil
+}
+
+// Fit estimates both center (Borda) and dispersion (MLE given that
+// center) from samples.
+func Fit(samples []perm.Perm) (*Model, error) {
+	center, err := EstimateCenterBorda(samples)
+	if err != nil {
+		return nil, err
+	}
+	theta, err := EstimateTheta(samples, center)
+	if err != nil {
+		return nil, err
+	}
+	return New(center, theta)
+}

@@ -1,0 +1,86 @@
+package mallows
+
+import (
+	"math/rand"
+
+	"repro/internal/perm"
+)
+
+// SampleFast draws one permutation from the model in O(n log n)
+// worst case, against Sample's O(n + total displacement) slice
+// insertions.
+//
+// It runs the repeated insertion process backwards: the last-inserted
+// item's insertion index is its final rank, so processing items from the
+// bottom of the center upward, item j claims the (idx_j+1)-th still-free
+// rank, where idx_j ∈ {0,…,j−1} is its insertion index. Selecting the
+// k-th free slot is one descent of a Fenwick tree.
+//
+// When to prefer which (measured in BenchmarkMallowsSample): Sample's
+// insertion cost is the number of displaced elements, whose expectation
+// is E[d_KT] — O(n) for fixed θ > 0 thanks to memmove-fast shifts, but
+// Θ(n²) as θ → 0. At n = 30000, SampleFast is ~7× faster at θ = 0 and
+// ~1.5× slower at θ = 1. Use SampleFast for small dispersions or
+// adversarially large n; Sample is the better default.
+//
+// The displacement distribution is identical to Sample's, so the two
+// samplers draw from the same Mallows distribution; they consume the
+// RNG stream in different orders, so corresponding draws differ.
+func (m *Model) SampleFast(rng *rand.Rand) perm.Perm {
+	n := m.N()
+	out := make(perm.Perm, n)
+	if n == 0 {
+		return out
+	}
+	tree := newFreeSlots(n)
+	for j := n; j >= 1; j-- {
+		v := sampleDisplacement(j, m.Theta, rng)
+		idx := j - 1 - v // insertion index among the j items present
+		rank := tree.takeKth(idx)
+		out[rank] = m.Center[j-1]
+	}
+	return out
+}
+
+// freeSlots is a Fenwick tree over slots 0…n−1 supporting "claim the
+// k-th free slot" in O(log n).
+type freeSlots struct {
+	n    int
+	tree []int // 1-based Fenwick of free counts
+	log2 uint
+}
+
+func newFreeSlots(n int) *freeSlots {
+	f := &freeSlots{n: n, tree: make([]int, n+1)}
+	for i := 1; i <= n; i++ {
+		f.tree[i] += 1
+		if j := i + (i & -i); j <= n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+	for 1<<(f.log2+1) <= n {
+		f.log2++
+	}
+	return f
+}
+
+// takeKth removes and returns the 0-based position of the (k+1)-th free
+// slot.
+func (f *freeSlots) takeKth(k int) int {
+	// Binary-lifting descent: find the smallest prefix holding k+1 frees.
+	pos := 0
+	remaining := k + 1
+	for step := 1 << f.log2; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= f.n && f.tree[next] < remaining {
+			pos = next
+			remaining -= f.tree[next]
+		}
+	}
+	slot := pos // 0-based: pos is the count of slots strictly before it
+	// Mark the slot used: subtract one on the path.
+	for i := slot + 1; i <= f.n; i += i & -i {
+		f.tree[i]--
+	}
+	return slot
+}

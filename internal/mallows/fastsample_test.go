@@ -1,0 +1,125 @@
+package mallows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/rankdist"
+)
+
+func TestSampleFastValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	m, err := New(perm.Random(30, rng), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := m.SampleFast(rng).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Degenerate sizes.
+	m0, err := New(perm.Perm{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m0.SampleFast(rng); len(p) != 0 {
+		t.Fatalf("empty model sample = %v", p)
+	}
+	m1, err := New(perm.Identity(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m1.SampleFast(rng); !p.Equal(perm.Identity(1)) {
+		t.Fatalf("singleton sample = %v", p)
+	}
+}
+
+func TestSampleFastMatchesExactDistribution(t *testing.T) {
+	// Same check as for Sample: the distance histogram must match the
+	// exact Mallows distance distribution.
+	const (
+		n       = 5
+		theta   = 0.7
+		samples = 40000
+	)
+	rng := rand.New(rand.NewSource(131))
+	m, err := New(perm.Identity(n), theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxD := int(MaxDistance(n))
+	hist := make([]float64, maxD+1)
+	for i := 0; i < samples; i++ {
+		d, err := rankdist.KendallTau(m.SampleFast(rng), m.Center)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist[d]++
+	}
+	exact, err := DistanceDistribution(n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tv float64
+	for d := 0; d <= maxD; d++ {
+		tv += math.Abs(hist[d]/samples - exact[d])
+	}
+	tv /= 2
+	if tv > 0.015 {
+		t.Fatalf("total variation distance %v too large", tv)
+	}
+}
+
+func TestSampleFastPermutationDistribution(t *testing.T) {
+	// Beyond the distance marginal: per-permutation frequencies on n=4
+	// must match the exact PMF (distance-preserving bugs would pass the
+	// histogram test but fail this).
+	const samples = 48000
+	rng := rand.New(rand.NewSource(132))
+	m, err := New(perm.MustNew(2, 0, 3, 1), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[string]float64{}
+	for i := 0; i < samples; i++ {
+		freq[m.SampleFast(rng).String()]++
+	}
+	var tv float64
+	perm.All(4, func(p perm.Perm) bool {
+		want, err := m.Prob(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv += math.Abs(freq[p.String()]/samples - want)
+		return true
+	})
+	tv /= 2
+	if tv > 0.02 {
+		t.Fatalf("per-permutation total variation %v too large", tv)
+	}
+}
+
+func TestFreeSlotsSelection(t *testing.T) {
+	// Claim every slot of a 7-slot tree in a scrambled k order and check
+	// the positions come out consistent.
+	f := newFreeSlots(7)
+	got := make([]int, 0, 7)
+	for _, k := range []int{3, 3, 0, 2, 0, 1, 0} {
+		got = append(got, f.takeKth(k))
+	}
+	// Simulate with a plain slice to derive the expected positions.
+	free := []int{0, 1, 2, 3, 4, 5, 6}
+	want := make([]int, 0, 7)
+	for _, k := range []int{3, 3, 0, 2, 0, 1, 0} {
+		want = append(want, free[k])
+		free = append(free[:k], free[k+1:]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selection %d: got slot %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package mallows
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/perm"
+	"repro/internal/rankdist"
+)
+
+// Mixture is a finite mixture of Mallows models — the standard model
+// for a population with heterogeneous preferences (the paper cites
+// Busa-Fekete et al.'s work on learning Mallows block models). A draw
+// picks component i with probability Weights[i] and samples M(centerᵢ, θᵢ).
+type Mixture struct {
+	Components []*Model
+	Weights    []float64
+}
+
+// NewMixture validates the components (same item count) and weights
+// (positive, summing to 1 within tolerance; they are renormalized).
+func NewMixture(components []*Model, weights []float64) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("mallows: empty mixture")
+	}
+	if len(weights) != len(components) {
+		return nil, fmt.Errorf("mallows: %d weights for %d components", len(weights), len(components))
+	}
+	for i, c := range components {
+		if c == nil {
+			return nil, fmt.Errorf("mallows: component %d is nil", i)
+		}
+	}
+	n := components[0].N()
+	var sum float64
+	for i, c := range components {
+		if c.N() != n {
+			return nil, fmt.Errorf("mallows: component %d has %d items, want %d", i, c.N(), n)
+		}
+		w := weights[i]
+		if math.IsNaN(w) || w <= 0 {
+			return nil, fmt.Errorf("mallows: weight %d is %v, want > 0", i, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("mallows: weights sum to %v, want 1", sum)
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return &Mixture{Components: components, Weights: norm}, nil
+}
+
+// N returns the number of items.
+func (m *Mixture) N() int { return m.Components[0].N() }
+
+// Sample draws one permutation from the mixture.
+func (m *Mixture) Sample(rng *rand.Rand) perm.Perm {
+	u := rng.Float64()
+	for i, w := range m.Weights {
+		if u < w || i == len(m.Weights)-1 {
+			return m.Components[i].Sample(rng)
+		}
+		u -= w
+	}
+	return m.Components[len(m.Components)-1].Sample(rng) // unreachable
+}
+
+// SampleN draws count independent permutations.
+func (m *Mixture) SampleN(count int, rng *rand.Rand) []perm.Perm {
+	out := make([]perm.Perm, count)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// LogProb returns ln P[π] = ln Σᵢ wᵢ·Pᵢ[π], computed with log-sum-exp.
+func (m *Mixture) LogProb(p perm.Perm) (float64, error) {
+	logs := make([]float64, len(m.Components))
+	for i, c := range m.Components {
+		lp, err := c.LogProb(p)
+		if err != nil {
+			return 0, err
+		}
+		logs[i] = math.Log(m.Weights[i]) + lp
+	}
+	return logSumExp(logs), nil
+}
+
+// LogLikelihood returns Σ ln P[sample].
+func (m *Mixture) LogLikelihood(samples []perm.Perm) (float64, error) {
+	var total float64
+	for i, s := range samples {
+		lp, err := m.LogProb(s)
+		if err != nil {
+			return 0, fmt.Errorf("mallows: sample %d: %w", i, err)
+		}
+		total += lp
+	}
+	return total, nil
+}
+
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// FitMixtureEM fits a k-component Mallows mixture by
+// expectation-maximization:
+//
+//   - E-step: responsibilities rᵢ(s) ∝ wᵢ·Pᵢ[s];
+//   - M-step: wᵢ = mean responsibility; centerᵢ = responsibility-weighted
+//     Borda consensus; θᵢ solves E_θ[D] = the responsibility-weighted
+//     mean distance to the new center (exact via bisection).
+//
+// The Borda center update is the standard consistent approximation (an
+// exact weighted-Kemeny M-step is NP-hard), so the likelihood is not
+// guaranteed monotone step-for-step; in practice a handful of
+// iterations recovers well-separated components. Initialization picks k
+// distinct samples as centers (seeded by rng).
+func FitMixtureEM(samples []perm.Perm, k, iterations int, rng *rand.Rand) (*Mixture, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("mallows: no samples")
+	}
+	if k < 1 || k > len(samples) {
+		return nil, fmt.Errorf("mallows: k = %d outside [1,%d]", k, len(samples))
+	}
+	if iterations < 1 {
+		return nil, fmt.Errorf("mallows: iterations = %d, want ≥ 1", iterations)
+	}
+	n := len(samples[0])
+	for i, s := range samples {
+		if len(s) != n {
+			return nil, fmt.Errorf("mallows: sample %d has %d items, want %d", i, len(s), n)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("mallows: sample %d: %w", i, err)
+		}
+	}
+
+	// Init: k distinct samples as centers, θ = 1, uniform weights.
+	components := make([]*Model, k)
+	weights := make([]float64, k)
+	order := rng.Perm(len(samples))
+	ci := 0
+	for _, idx := range order {
+		dup := false
+		for j := 0; j < ci; j++ {
+			if components[j].Center.Equal(samples[idx]) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		model, err := New(samples[idx], 1)
+		if err != nil {
+			return nil, err
+		}
+		components[ci] = model
+		weights[ci] = 1 / float64(k)
+		ci++
+		if ci == k {
+			break
+		}
+	}
+	for ci < k {
+		// Fewer distinct samples than components: reuse the first center.
+		model, err := New(samples[order[0]], 1)
+		if err != nil {
+			return nil, err
+		}
+		components[ci] = model
+		weights[ci] = 1 / float64(k)
+		ci++
+	}
+
+	resp := make([][]float64, len(samples))
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	logs := make([]float64, k)
+	for iter := 0; iter < iterations; iter++ {
+		// E-step.
+		for si, s := range samples {
+			for i, c := range components {
+				lp, err := c.LogProb(s)
+				if err != nil {
+					return nil, err
+				}
+				logs[i] = math.Log(weights[i]) + lp
+			}
+			z := logSumExp(logs)
+			for i := range logs {
+				resp[si][i] = math.Exp(logs[i] - z)
+			}
+		}
+		// M-step.
+		for i := 0; i < k; i++ {
+			var mass float64
+			rankSums := make([]float64, n)
+			for si, s := range samples {
+				r := resp[si][i]
+				mass += r
+				for rank, item := range s {
+					rankSums[item] += r * float64(rank)
+				}
+			}
+			if mass < 1e-12 {
+				// Dead component: reseed on a random sample.
+				model, err := New(samples[rng.Intn(len(samples))], 1)
+				if err != nil {
+					return nil, err
+				}
+				components[i] = model
+				weights[i] = 1e-6
+				continue
+			}
+			weights[i] = mass / float64(len(samples))
+			center := perm.Identity(n)
+			sort.SliceStable(center, func(a, b int) bool {
+				return rankSums[center[a]] < rankSums[center[b]]
+			})
+			var distSum float64
+			for si, s := range samples {
+				d, err := rankdist.KendallTau(s, center)
+				if err != nil {
+					return nil, err
+				}
+				distSum += resp[si][i] * float64(d)
+			}
+			theta := solveTheta(n, distSum/mass)
+			model, err := New(center, theta)
+			if err != nil {
+				return nil, err
+			}
+			components[i] = model
+		}
+		normalize(weights)
+	}
+	return NewMixture(components, weights)
+}
+
+// solveTheta inverts E_θ[D] = target by bisection (θ = 0 when the
+// target is at or above the uniform mean, MaxTheta when it is 0).
+func solveTheta(n int, target float64) float64 {
+	if n < 2 || target >= ExpectedDistance(n, 0) {
+		return 0
+	}
+	if target <= 0 {
+		return MaxTheta
+	}
+	lo, hi := 0.0, MaxTheta
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if ExpectedDistance(n, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func normalize(w []float64) {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+}

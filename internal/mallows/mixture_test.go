@@ -1,0 +1,193 @@
+package mallows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func twoComponentTruth(t *testing.T) *Mixture {
+	t.Helper()
+	a, err := New(perm.Identity(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(perm.Identity(8).Reverse(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := NewMixture([]*Model{a, b}, []float64{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mix
+}
+
+func TestNewMixtureValidation(t *testing.T) {
+	a, _ := New(perm.Identity(4), 1)
+	b, _ := New(perm.Identity(5), 1)
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("accepted empty mixture")
+	}
+	if _, err := NewMixture([]*Model{a}, []float64{0.5, 0.5}); err == nil {
+		t.Error("accepted weight count mismatch")
+	}
+	if _, err := NewMixture([]*Model{a, b}, []float64{0.5, 0.5}); err == nil {
+		t.Error("accepted mismatched item counts")
+	}
+	if _, err := NewMixture([]*Model{a}, []float64{0}); err == nil {
+		t.Error("accepted zero weight")
+	}
+	if _, err := NewMixture([]*Model{a}, []float64{0.2}); err == nil {
+		t.Error("accepted weights not summing to 1")
+	}
+	if _, err := NewMixture([]*Model{nil}, []float64{1}); err == nil {
+		t.Error("accepted nil component")
+	}
+}
+
+func TestMixtureProbSumsToOne(t *testing.T) {
+	a, _ := New(perm.Identity(4), 1.5)
+	b, _ := New(perm.MustNew(3, 1, 2, 0), 0.4)
+	mix, err := NewMixture([]*Model{a, b}, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	perm.All(4, func(p perm.Perm) bool {
+		lp, err := mix.LogProb(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Exp(lp)
+		return true
+	})
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mixture probabilities sum to %v", sum)
+	}
+}
+
+func TestMixtureSampleValid(t *testing.T) {
+	mix := twoComponentTruth(t)
+	rng := rand.New(rand.NewSource(120))
+	for i := 0; i < 100; i++ {
+		if err := mix.Sample(rng).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := mix.SampleN(5, rng)
+	if len(out) != 5 {
+		t.Fatalf("SampleN returned %d", len(out))
+	}
+}
+
+func TestMixtureSampleComponentFrequencies(t *testing.T) {
+	// With well-separated components, classify each sample by the
+	// nearest center; frequencies must match the mixture weights.
+	mix := twoComponentTruth(t)
+	rng := rand.New(rand.NewSource(121))
+	const samples = 4000
+	nearA := 0
+	for i := 0; i < samples; i++ {
+		s := mix.Sample(rng)
+		da := s.InversionCount() // distance to identity
+		rel, err := s.RelativeTo(mix.Components[1].Center)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := rel.InversionCount()
+		if da < db {
+			nearA++
+		}
+	}
+	frac := float64(nearA) / samples
+	if math.Abs(frac-0.6) > 0.03 {
+		t.Fatalf("component-A fraction %v, want ≈ 0.6", frac)
+	}
+}
+
+func TestFitMixtureEMRecoversComponents(t *testing.T) {
+	mix := twoComponentTruth(t)
+	rng := rand.New(rand.NewSource(122))
+	samples := mix.SampleN(2000, rng)
+	fitted, err := FitMixtureEM(samples, 2, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match fitted components to truth by center.
+	id := perm.Identity(8)
+	rev := id.Reverse()
+	var wID, wRev float64
+	var thID, thRev float64
+	found := 0
+	for i, c := range fitted.Components {
+		switch {
+		case c.Center.Equal(id):
+			wID, thID = fitted.Weights[i], c.Theta
+			found++
+		case c.Center.Equal(rev):
+			wRev, thRev = fitted.Weights[i], c.Theta
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("centers not recovered: %v / %v",
+			fitted.Components[0].Center, fitted.Components[1].Center)
+	}
+	if math.Abs(wID-0.6) > 0.05 || math.Abs(wRev-0.4) > 0.05 {
+		t.Fatalf("weights = %v / %v, want 0.6 / 0.4", wID, wRev)
+	}
+	if math.Abs(thID-2) > 0.4 || math.Abs(thRev-2) > 0.4 {
+		t.Fatalf("thetas = %v / %v, want ≈ 2", thID, thRev)
+	}
+	// The fitted mixture must beat a single-component fit on likelihood.
+	single, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleMix, err := NewMixture([]*Model{single}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llMix, err := fitted.LogLikelihood(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llSingle, err := singleMix.LogLikelihood(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llMix <= llSingle {
+		t.Fatalf("mixture loglik %v not above single-component %v", llMix, llSingle)
+	}
+}
+
+func TestFitMixtureEMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	if _, err := FitMixtureEM(nil, 1, 5, rng); err == nil {
+		t.Error("accepted no samples")
+	}
+	s := []perm.Perm{perm.Identity(3), perm.Identity(3)}
+	if _, err := FitMixtureEM(s, 0, 5, rng); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := FitMixtureEM(s, 3, 5, rng); err == nil {
+		t.Error("accepted k > samples")
+	}
+	if _, err := FitMixtureEM(s, 1, 0, rng); err == nil {
+		t.Error("accepted zero iterations")
+	}
+	if _, err := FitMixtureEM([]perm.Perm{{0, 0}}, 1, 5, rng); err == nil {
+		t.Error("accepted invalid sample")
+	}
+	if _, err := FitMixtureEM([]perm.Perm{perm.Identity(2), perm.Identity(3)}, 1, 5, rng); err == nil {
+		t.Error("accepted ragged samples")
+	}
+	// k = 2 with identical samples exercises the duplicate-center path.
+	mix, err := FitMixtureEM(s, 2, 3, rng)
+	if err != nil || len(mix.Components) != 2 {
+		t.Errorf("duplicate-sample fit = %v, %v", mix, err)
+	}
+}

@@ -1,0 +1,116 @@
+package perm
+
+import "fmt"
+
+// InversionCount returns the number of pairs (i, j), i < j, with
+// p[i] > p[j]. This equals the Kendall tau distance between p and the
+// identity permutation. The count is computed by a bottom-up merge sort
+// in O(n log n) time and O(n) scratch space.
+func (p Perm) InversionCount() int64 {
+	n := len(p)
+	if n < 2 {
+		return 0
+	}
+	work := make([]int, n)
+	buf := make([]int, n)
+	copy(work, p)
+	var inv int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n-width; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			inv += mergeCount(work, buf, lo, mid, hi)
+		}
+	}
+	return inv
+}
+
+// mergeCount merges the sorted runs work[lo:mid] and work[mid:hi] into
+// place and returns the number of inversions across the two runs.
+func mergeCount(work, buf []int, lo, mid, hi int) int64 {
+	copy(buf[lo:hi], work[lo:hi])
+	i, j := lo, mid
+	var inv int64
+	for k := lo; k < hi; k++ {
+		switch {
+		case i >= mid:
+			work[k] = buf[j]
+			j++
+		case j >= hi:
+			work[k] = buf[i]
+			i++
+		case buf[i] <= buf[j]:
+			work[k] = buf[i]
+			i++
+		default:
+			// buf[j] jumps ahead of every element remaining in the left
+			// run; each of those pairs is an inversion.
+			work[k] = buf[j]
+			j++
+			inv += int64(mid - i)
+		}
+	}
+	return inv
+}
+
+// LehmerCode returns the inversion table L of p: L[r] is the number of
+// items at ranks before r that are larger than p[r]. The sum of the code
+// equals InversionCount, and the code determines p uniquely.
+func (p Perm) LehmerCode() []int {
+	n := len(p)
+	code := make([]int, n)
+	// Fenwick tree over item values; tree[i] counts items already seen
+	// with value < i (1-based internally).
+	tree := make([]int, n+1)
+	add := func(i int) {
+		for i++; i <= n; i += i & (-i) {
+			tree[i]++
+		}
+	}
+	prefix := func(i int) int { // count of seen values in [0, i]
+		s := 0
+		for i++; i > 0; i -= i & (-i) {
+			s += tree[i]
+		}
+		return s
+	}
+	for r, item := range p {
+		// r items seen so far; those ≤ item are not inversions.
+		code[r] = r - prefix(item)
+		add(item)
+	}
+	return code
+}
+
+// FromLehmerCode reconstructs the permutation whose Lehmer code is code.
+// It is the inverse of LehmerCode: FromLehmerCode(p.LehmerCode()) == p.
+//
+// Reconstruction runs right to left: at rank r every not-yet-assigned item
+// sits at a rank before r, so code[r] — the number of earlier larger items
+// — equals the number of remaining items larger than p[r]. Hence p[r] is
+// the (m−1−code[r])-th smallest of the m remaining items.
+func FromLehmerCode(code []int) (Perm, error) {
+	n := len(code)
+	p := make(Perm, n)
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for r := n - 1; r >= 0; r-- {
+		c := code[r]
+		if c < 0 || c > r {
+			return nil, errCode(r, c)
+		}
+		idx := len(remaining) - 1 - c
+		p[r] = remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+	}
+	return p, nil
+}
+
+func errCode(r, c int) error {
+	return fmt.Errorf("perm: invalid Lehmer code value %d at rank %d", c, r)
+}

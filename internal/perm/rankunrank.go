@@ -1,0 +1,129 @@
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MaxFactorialLen is the largest d for which d! fits in an int64 and
+// therefore the largest size LexRank and Unrank accept.
+const MaxFactorialLen = 20
+
+// Factorial returns n! for 0 ≤ n ≤ MaxFactorialLen.
+func Factorial(n int) (int64, error) {
+	if n < 0 || n > MaxFactorialLen {
+		return 0, fmt.Errorf("perm: factorial argument %d outside [0,%d]", n, MaxFactorialLen)
+	}
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f, nil
+}
+
+// LexRank returns the 0-based index of p in the lexicographic order of all
+// permutations of its size (identity has rank 0). Sizes above
+// MaxFactorialLen are rejected because the rank overflows int64.
+func (p Perm) LexRank() (int64, error) {
+	n := len(p)
+	if n > MaxFactorialLen {
+		return 0, fmt.Errorf("perm: LexRank of size %d overflows int64", n)
+	}
+	var rank int64
+	fact, _ := Factorial(n - 1)
+	used := make([]bool, n)
+	for r := 0; r < n; r++ {
+		smaller := 0
+		for v := 0; v < p[r]; v++ {
+			if !used[v] {
+				smaller++
+			}
+		}
+		used[p[r]] = true
+		rank += int64(smaller) * fact
+		if n-1-r > 0 {
+			fact /= int64(n - 1 - r)
+		}
+	}
+	return rank, nil
+}
+
+// Unrank returns the permutation of size d with the given 0-based
+// lexicographic rank.
+func Unrank(d int, rank int64) (Perm, error) {
+	total, err := Factorial(d)
+	if err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= total {
+		return nil, fmt.Errorf("perm: rank %d outside [0,%d)", rank, total)
+	}
+	if d == 0 {
+		return Perm{}, nil
+	}
+	avail := make([]int, d)
+	for i := range avail {
+		avail[i] = i
+	}
+	p := make(Perm, d)
+	fact := total / int64(d)
+	for r := 0; r < d; r++ {
+		idx := int(rank / fact)
+		rank %= fact
+		p[r] = avail[idx]
+		avail = append(avail[:idx], avail[idx+1:]...)
+		if d-1-r > 0 {
+			fact /= int64(d - 1 - r)
+		}
+	}
+	return p, nil
+}
+
+// Random returns a uniformly random permutation of size d drawn from rng
+// via the Fisher–Yates shuffle.
+func Random(d int, rng *rand.Rand) Perm {
+	p := Identity(d)
+	for i := d - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// All enumerates every permutation of size d in lexicographic order and
+// calls fn on each; enumeration stops early if fn returns false. The Perm
+// passed to fn is reused between calls — clone it to retain it.
+// All is intended for exhaustive checks at small d (test oracles).
+func All(d int, fn func(Perm) bool) {
+	p := Identity(d)
+	for {
+		if !fn(p) {
+			return
+		}
+		if !nextLex(p) {
+			return
+		}
+	}
+}
+
+// nextLex advances p to its lexicographic successor in place, returning
+// false when p was the final (descending) permutation.
+func nextLex(p Perm) bool {
+	n := len(p)
+	i := n - 2
+	for i >= 0 && p[i] >= p[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := n - 1
+	for p[j] <= p[i] {
+		j--
+	}
+	p[i], p[j] = p[j], p[i]
+	for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+		p[l], p[r] = p[r], p[l]
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+package rankdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perm"
+)
+
+// bruteKendall counts discordant pairs directly from the position maps.
+func bruteKendall(p, q perm.Perm) int64 {
+	pp, qp := p.Positions(), q.Positions()
+	var n int64
+	d := len(p)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if (pp[i]-pp[j])*(qp[i]-qp[j]) < 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestKendallTauKnownValues(t *testing.T) {
+	id := perm.Identity(4)
+	rev := id.Reverse()
+	cases := []struct {
+		p, q perm.Perm
+		want int64
+	}{
+		{id, id, 0},
+		{id, rev, 6},
+		{perm.MustNew(1, 0, 2, 3), id, 1},
+		{perm.MustNew(0, 2, 1, 3), perm.MustNew(0, 1, 2, 3), 1},
+		{perm.MustNew(2, 0, 1), perm.MustNew(0, 1, 2), 2},
+	}
+	for _, c := range cases {
+		got, err := KendallTau(c.p, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("KendallTau(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestKendallTauAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		d := rng.Intn(40)
+		p, q := perm.Random(d, rng), perm.Random(d, rng)
+		got, err := KendallTau(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteKendall(p, q); got != want {
+			t.Fatalf("KendallTau(%v,%v) = %d, want %d", p, q, got, want)
+		}
+	}
+}
+
+func TestMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type metric struct {
+		name string
+		f    func(p, q perm.Perm) (int64, error)
+	}
+	metrics := []metric{
+		{"KendallTau", KendallTau},
+		{"Footrule", Footrule},
+		{"Spearman", Spearman}, // squared: not a metric (no triangle), still symmetric + identity
+		{"Ulam", func(p, q perm.Perm) (int64, error) { v, err := Ulam(p, q); return int64(v), err }},
+		{"Cayley", func(p, q perm.Perm) (int64, error) { v, err := Cayley(p, q); return int64(v), err }},
+		{"Hamming", func(p, q perm.Perm) (int64, error) { v, err := Hamming(p, q); return int64(v), err }},
+	}
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(16)
+		p, q, r := perm.Random(d, rng), perm.Random(d, rng), perm.Random(d, rng)
+		for _, m := range metrics {
+			dpq, err := m.f(p, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dqp, _ := m.f(q, p)
+			if dpq != dqp {
+				t.Fatalf("%s not symmetric: d(p,q)=%d d(q,p)=%d", m.name, dpq, dqp)
+			}
+			if self, _ := m.f(p, p); self != 0 {
+				t.Fatalf("%s: d(p,p) = %d", m.name, self)
+			}
+			if dpq < 0 {
+				t.Fatalf("%s negative: %d", m.name, dpq)
+			}
+			if m.name == "Spearman" {
+				continue // squared displacement violates the triangle inequality
+			}
+			dpr, _ := m.f(p, r)
+			drq, _ := m.f(r, q)
+			if dpq > dpr+drq {
+				t.Fatalf("%s triangle violated: d(p,q)=%d > d(p,r)+d(r,q)=%d (p=%v q=%v r=%v)",
+					m.name, dpq, dpr+drq, p, q, r)
+			}
+		}
+	}
+}
+
+func TestKendallRightInvariance(t *testing.T) {
+	// d(p∘t, q∘t) = d(p, q) for relabelings t: Kendall tau is
+	// right-invariant. In the one-line "item list" representation,
+	// relabeling items of both rankings by the same bijection preserves
+	// the distance.
+	rng := rand.New(rand.NewSource(12))
+	relabel := func(p perm.Perm, m perm.Perm) perm.Perm {
+		out := make(perm.Perm, len(p))
+		for r, item := range p {
+			out[r] = m[item]
+		}
+		return out
+	}
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(16)
+		p, q, m := perm.Random(d, rng), perm.Random(d, rng), perm.Random(d, rng)
+		a, err := KendallTau(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := KendallTau(relabel(p, m), relabel(q, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("not right-invariant: %d vs %d", a, b)
+		}
+	}
+}
+
+func TestCoefficientBoundsAndExtremes(t *testing.T) {
+	id := perm.Identity(8)
+	rev := id.Reverse()
+	c, err := KendallTauCoefficient(id, id)
+	if err != nil || c != 1 {
+		t.Fatalf("kτ(id,id) = %v, %v", c, err)
+	}
+	c, err = KendallTauCoefficient(id, rev)
+	if err != nil || c != -1 {
+		t.Fatalf("kτ(id,rev) = %v, %v", c, err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.Intn(20)
+		p, q := perm.Random(d, rng), perm.Random(d, rng)
+		c, err := KendallTauCoefficient(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < -1-1e-12 || c > 1+1e-12 {
+			t.Fatalf("kτ out of range: %v", c)
+		}
+	}
+	// Degenerate sizes.
+	if c, _ := KendallTauCoefficient(perm.Identity(1), perm.Identity(1)); c != 1 {
+		t.Fatalf("kτ on singleton = %v", c)
+	}
+}
+
+func TestSpearmanRho(t *testing.T) {
+	id := perm.Identity(10)
+	rho, err := SpearmanRho(id, id)
+	if err != nil || rho != 1 {
+		t.Fatalf("ρ(id,id) = %v, %v", rho, err)
+	}
+	rho, err = SpearmanRho(id, id.Reverse())
+	if err != nil || math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("ρ(id,rev) = %v, %v", rho, err)
+	}
+}
+
+func TestFootruleKnown(t *testing.T) {
+	// id vs reverse of size 4: displacements 3,1,1,3 → 8.
+	got, err := Footrule(perm.Identity(4), perm.Identity(4).Reverse())
+	if err != nil || got != 8 {
+		t.Fatalf("Footrule(id, rev) = %d, %v", got, err)
+	}
+}
+
+func TestFootruleKendallSandwich(t *testing.T) {
+	// Diaconis–Graham: KT ≤ Footrule ≤ 2·KT.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 200; trial++ {
+		d := rng.Intn(32)
+		p, q := perm.Random(d, rng), perm.Random(d, rng)
+		kt, err := KendallTau(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := Footrule(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr < kt || fr > 2*kt {
+			t.Fatalf("Diaconis–Graham violated: KT=%d footrule=%d (p=%v q=%v)", kt, fr, p, q)
+		}
+	}
+}
+
+func TestUlamKnown(t *testing.T) {
+	id := perm.Identity(5)
+	cases := []struct {
+		p    perm.Perm
+		want int
+	}{
+		{id, 0},
+		{perm.MustNew(1, 2, 3, 4, 0), 1}, // move 0 to front
+		{perm.MustNew(4, 0, 1, 2, 3), 1}, // move 4 to back
+		{perm.MustNew(4, 3, 2, 1, 0), 4}, // reverse: LIS = 1
+	}
+	for _, c := range cases {
+		got, err := Ulam(c.p, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Ulam(%v, id) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCayleyKnown(t *testing.T) {
+	id := perm.Identity(4)
+	cases := []struct {
+		p    perm.Perm
+		want int
+	}{
+		{id, 0},
+		{perm.MustNew(1, 0, 2, 3), 1},
+		{perm.MustNew(1, 0, 3, 2), 2},
+		{perm.MustNew(1, 2, 3, 0), 3}, // 4-cycle needs 3 transpositions
+	}
+	for _, c := range cases {
+		got, err := Cayley(c.p, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Cayley(%v, id) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHamming(t *testing.T) {
+	got, err := Hamming(perm.MustNew(1, 0, 2), perm.Identity(3))
+	if err != nil || got != 2 {
+		t.Fatalf("Hamming = %d, %v", got, err)
+	}
+}
+
+func TestSizeMismatchErrors(t *testing.T) {
+	p, q := perm.Identity(3), perm.Identity(4)
+	if _, err := KendallTau(p, q); err == nil {
+		t.Error("KendallTau accepted mismatched sizes")
+	}
+	if _, err := Spearman(p, q); err == nil {
+		t.Error("Spearman accepted mismatched sizes")
+	}
+	if _, err := Footrule(p, q); err == nil {
+		t.Error("Footrule accepted mismatched sizes")
+	}
+	if _, err := Ulam(p, q); err == nil {
+		t.Error("Ulam accepted mismatched sizes")
+	}
+	if _, err := Cayley(p, q); err == nil {
+		t.Error("Cayley accepted mismatched sizes")
+	}
+	if _, err := Hamming(p, q); err == nil {
+		t.Error("Hamming accepted mismatched sizes")
+	}
+	if _, err := KendallTauNormalized(p, q); err == nil {
+		t.Error("KendallTauNormalized accepted mismatched sizes")
+	}
+	if _, err := KendallTauCoefficient(p, q); err == nil {
+		t.Error("KendallTauCoefficient accepted mismatched sizes")
+	}
+	if _, err := SpearmanRho(p, q); err == nil {
+		t.Error("SpearmanRho accepted mismatched sizes")
+	}
+}
+
+func TestNormalizedKendallRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 100; trial++ {
+		d := rng.Intn(24)
+		p, q := perm.Random(d, rng), perm.Random(d, rng)
+		v, err := KendallTauNormalized(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized KT out of range: %v", v)
+		}
+	}
+	v, err := KendallTauNormalized(perm.Identity(6), perm.Identity(6).Reverse())
+	if err != nil || v != 1 {
+		t.Fatalf("normalized KT of reverse = %v, %v", v, err)
+	}
+}
+
+func TestQuickUlamLowerBoundsKendall(t *testing.T) {
+	// Every move-one-item operation changes KT by at most d−1, and more
+	// simply Ulam ≤ KT always (each adjacent transposition is a special
+	// move). Verify Ulam ≤ KT and Cayley ≤ KT.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(16)
+		p, q := perm.Random(d, rng), perm.Random(d, rng)
+		kt, _ := KendallTau(p, q)
+		ul, _ := Ulam(p, q)
+		cy, _ := Cayley(p, q)
+		return int64(ul) <= kt && int64(cy) <= kt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package rankdist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Top-k list distances after Fagin, Kumar, Sivakumar ("Comparing top k
+// lists", 2003). The paper's preliminaries admit incomplete rankings
+// (S_{≤d}); these metrics compare two top-k lists that need not rank
+// the same items.
+
+// validateTopK checks that a list has no duplicates.
+func validateTopK(name string, list []int) (map[int]int, error) {
+	pos := make(map[int]int, len(list))
+	for r, item := range list {
+		if _, dup := pos[item]; dup {
+			return nil, fmt.Errorf("rankdist: %s: duplicate item %d", name, item)
+		}
+		pos[item] = r
+	}
+	return pos, nil
+}
+
+// KendallTopK returns Fagin's Kendall tau distance with penalty
+// parameter p ∈ [0,1] between two top-k lists (not necessarily over the
+// same items, not necessarily the same length). For every unordered
+// pair of items appearing in either list:
+//
+//   - both ranked in both lists: 1 if the lists disagree on the order;
+//   - both ranked in one list, one of them ranked in the other: 1 if
+//     the list ranking both places the absent-elsewhere item first
+//     (the other list implicitly ranks it below its bottom);
+//   - each ranked in exactly one list (one item per list): 1 — the
+//     lists certainly disagree;
+//   - both ranked in only one and the same list counts already handled;
+//     both appearing in one list and neither in the other cannot happen
+//     for pairs drawn from the union; the remaining ambiguous case —
+//     both items missing from one of the lists but present in the other
+//     — is scored p (optimistic 0, neutral 1/2, pessimistic 1).
+//
+// KendallTopK(p=0) is a metric-like "optimistic" distance; p = 1/2 is
+// the neutral variant Fagin et al. recommend.
+func KendallTopK(a, b []int, p float64) (float64, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("rankdist: penalty %v outside [0,1]", p)
+	}
+	posA, err := validateTopK("first list", a)
+	if err != nil {
+		return 0, err
+	}
+	posB, err := validateTopK("second list", b)
+	if err != nil {
+		return 0, err
+	}
+	union := make([]int, 0, len(posA)+len(posB))
+	for _, item := range a {
+		union = append(union, item)
+	}
+	for _, item := range b {
+		if _, ok := posA[item]; !ok {
+			union = append(union, item)
+		}
+	}
+	var dist float64
+	for x := 0; x < len(union); x++ {
+		for y := x + 1; y < len(union); y++ {
+			i, j := union[x], union[y]
+			ia, aOK := posA[i]
+			ja, jaOK := posA[j]
+			ib, bOK := posB[i]
+			jb, jbOK := posB[j]
+			switch {
+			case aOK && jaOK && bOK && jbOK:
+				// Case 1: both lists rank both items.
+				if (ia-ja)*(ib-jb) < 0 {
+					dist++
+				}
+			case aOK && jaOK && !bOK && !jbOK, !aOK && !jaOK && bOK && jbOK:
+				// Case 4: one list ranks both, the other ranks neither.
+				dist += p
+			case aOK && jaOK: // exactly one of i, j in b
+				// Case 2: b implicitly puts its missing item below.
+				if bOK { // i ∈ b, j ∉ b: b says i < j; disagreement iff a says j < i
+					if ja < ia {
+						dist++
+					}
+				} else { // j ∈ b, i ∉ b: b says j < i
+					if ia < ja {
+						dist++
+					}
+				}
+			case bOK && jbOK: // exactly one of i, j in a
+				if aOK { // i ∈ a, j ∉ a: a says i < j
+					if jb < ib {
+						dist++
+					}
+				} else {
+					if ib < jb {
+						dist++
+					}
+				}
+			default:
+				// Case 3: i in one list only, j in the other only — the
+				// lists necessarily disagree.
+				dist++
+			}
+		}
+	}
+	return dist, nil
+}
+
+// FootruleTopK returns the induced footrule distance with location
+// parameter ℓ: items absent from a list are treated as ranked at
+// position ℓ (0-based; Fagin et al. use ℓ = k, one past the bottom).
+// ℓ must be at least the length of both lists.
+func FootruleTopK(a, b []int, location int) (float64, error) {
+	if location < len(a) || location < len(b) {
+		return 0, fmt.Errorf("rankdist: location %d below list length", location)
+	}
+	posA, err := validateTopK("first list", a)
+	if err != nil {
+		return 0, err
+	}
+	posB, err := validateTopK("second list", b)
+	if err != nil {
+		return 0, err
+	}
+	var dist float64
+	seen := map[int]bool{}
+	for _, item := range a {
+		seen[item] = true
+		pb, ok := posB[item]
+		if !ok {
+			pb = location
+		}
+		dist += math.Abs(float64(posA[item] - pb))
+	}
+	for _, item := range b {
+		if seen[item] {
+			continue
+		}
+		dist += math.Abs(float64(location - posB[item]))
+	}
+	return dist, nil
+}

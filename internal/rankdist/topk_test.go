@@ -1,0 +1,191 @@
+package rankdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestKendallTopKIdentical(t *testing.T) {
+	d, err := KendallTopK([]int{3, 1, 4}, []int{3, 1, 4}, 0.5)
+	if err != nil || d != 0 {
+		t.Fatalf("identical lists = %v, %v", d, err)
+	}
+}
+
+func TestKendallTopKReducesToFullKT(t *testing.T) {
+	// On two full permutations of the same set, every pair is case 1 and
+	// the distance equals the ordinary Kendall tau for any p.
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		a, b := perm.Random(n, rng), perm.Random(n, rng)
+		want, err := KendallTau(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{0, 0.5, 1} {
+			got, err := KendallTopK([]int(a), []int(b), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != float64(want) {
+				t.Fatalf("p=%v: topk KT %v, full KT %d", p, got, want)
+			}
+		}
+	}
+}
+
+func TestKendallTopKDisjoint(t *testing.T) {
+	// Disjoint lists of size k: k² case-3 pairs (one item per list) plus
+	// 2·C(k,2) case-4 pairs (both in one list, neither in the other).
+	a := []int{0, 1, 2}
+	b := []int{10, 11, 12}
+	for _, p := range []float64{0, 0.5, 1} {
+		got, err := KendallTopK(a, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 9 + p*6
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("p=%v: disjoint distance %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestKendallTopKPartialOverlap(t *testing.T) {
+	// a = [1 2], b = [2 3]:
+	// pair {1,2}: both in a, only 2 in b → b says 2 < 1; a says 1 < 2 → 1.
+	// pair {1,3}: 1 only in a, 3 only in b → case 3 → 1.
+	// pair {2,3}: both in b, only 2 in a → a says 2 < 3; b says 2 < 3 → 0.
+	got, err := KendallTopK([]int{1, 2}, []int{2, 3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("distance = %v, want 2", got)
+	}
+}
+
+func TestKendallTopKMonotoneInP(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 40; trial++ {
+		// Random overlapping lists.
+		k := 2 + rng.Intn(5)
+		pool := rng.Perm(12)
+		a := pool[:k]
+		b := pool[k/2 : k/2+k]
+		d0, err := KendallTopK(a, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dHalf, err := KendallTopK(a, b, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := KendallTopK(a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d0 > dHalf+1e-12 || dHalf > d1+1e-12 {
+			t.Fatalf("not monotone in p: %v %v %v", d0, dHalf, d1)
+		}
+	}
+}
+
+func TestKendallTopKSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 40; trial++ {
+		pool := rng.Perm(10)
+		a := pool[:3+rng.Intn(3)]
+		b := pool[2 : 5+rng.Intn(3)]
+		x, err := KendallTopK(a, b, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := KendallTopK(b, a, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != y {
+			t.Fatalf("not symmetric: %v vs %v", x, y)
+		}
+	}
+}
+
+func TestKendallTopKValidation(t *testing.T) {
+	if _, err := KendallTopK([]int{1, 1}, []int{2}, 0.5); err == nil {
+		t.Error("accepted duplicate in first list")
+	}
+	if _, err := KendallTopK([]int{1}, []int{2, 2}, 0.5); err == nil {
+		t.Error("accepted duplicate in second list")
+	}
+	if _, err := KendallTopK([]int{1}, []int{2}, -0.1); err == nil {
+		t.Error("accepted negative penalty")
+	}
+	if _, err := KendallTopK([]int{1}, []int{2}, 1.1); err == nil {
+		t.Error("accepted penalty above 1")
+	}
+}
+
+func TestFootruleTopK(t *testing.T) {
+	// Identical lists → 0.
+	d, err := FootruleTopK([]int{5, 6}, []int{5, 6}, 2)
+	if err != nil || d != 0 {
+		t.Fatalf("identical = %v, %v", d, err)
+	}
+	// a=[1 2], b=[2 3], ℓ=2:
+	// item 1: |0−2| = 2; item 2: |1−0| = 1; item 3: |2−1| = 1 → 4.
+	d, err = FootruleTopK([]int{1, 2}, []int{2, 3}, 2)
+	if err != nil || d != 4 {
+		t.Fatalf("partial overlap = %v, %v", d, err)
+	}
+	// Full permutations reduce to the ordinary footrule.
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		a, b := perm.Random(n, rng), perm.Random(n, rng)
+		want, err := Footrule(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FootruleTopK([]int(a), []int(b), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != float64(want) {
+			t.Fatalf("topk footrule %v, full %d", got, want)
+		}
+	}
+	if _, err := FootruleTopK([]int{1, 2}, []int{3}, 1); err == nil {
+		t.Error("accepted location below list length")
+	}
+	if _, err := FootruleTopK([]int{1, 1}, []int{3}, 3); err == nil {
+		t.Error("accepted duplicates")
+	}
+	if _, err := FootruleTopK([]int{2}, []int{3, 3}, 3); err == nil {
+		t.Error("accepted duplicates in second list")
+	}
+}
+
+func TestFootruleTopKSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	for trial := 0; trial < 30; trial++ {
+		pool := rng.Perm(10)
+		a := pool[:4]
+		b := pool[2:6]
+		x, err := FootruleTopK(a, b, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := FootruleTopK(b, a, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != y {
+			t.Fatalf("not symmetric: %v vs %v", x, y)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package rankers
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/perm"
+)
+
+// DetConstSort is the deterministic constrained-sort post-processor of
+// Geyik et al. (KDD'19, Algorithm 3), the LinkedIn Talent Search
+// re-ranker the paper compares against.
+//
+// The algorithm walks target positions k = 1, 2, …; whenever a group's
+// minimum count ⌊α_g·k⌋ increases, that group's next-best candidate is
+// appended and then bubbled up as far as score order wants, but never
+// above the position whose minimum count demanded it (maxIndices). Here
+// the per-position minimum counts come from the instance's bound table
+// (Lower[k−1][g]), which equals ⌊α_g·k⌋ for tables built from
+// constraints.
+//
+// Sigma > 0 reproduces the noisy-constraint variant of §V-C: an
+// independent N(0,σ) sample is added to each tempMinCount (Geyik et al.
+// Algorithm 3 line 7) before rounding.
+type DetConstSort struct {
+	Sigma float64
+}
+
+// Name implements Ranker.
+func (d DetConstSort) Name() string {
+	if d.Sigma > 0 {
+		return fmt.Sprintf("detconstsort(σ=%g)", d.Sigma)
+	}
+	return "detconstsort"
+}
+
+// Rank implements Ranker.
+func (d DetConstSort) Rank(in Instance, rng *rand.Rand) (perm.Perm, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Sigma < 0 {
+		return nil, fmt.Errorf("rankers: detconstsort σ = %v, want ≥ 0", d.Sigma)
+	}
+	if d.Sigma > 0 && rng == nil {
+		return nil, fmt.Errorf("rankers: detconstsort with σ > 0 needs an RNG")
+	}
+	n := len(in.Initial)
+	if n == 0 {
+		return perm.Perm{}, nil
+	}
+	g := in.Groups.NumGroups()
+
+	// Per-group candidate queues in non-increasing score order.
+	queues := in.Groups.Members()
+	for _, q := range queues {
+		sort.SliceStable(q, func(a, b int) bool { return in.Scores[q[a]] > in.Scores[q[b]] })
+	}
+	nextIdx := make([]int, g)
+
+	ranked := make([]int, 0, n) // items placed so far
+	maxIdx := make([]int, 0, n) // latest 0-based position each may sink to
+	counts := make([]int, g)    // placed per group
+	minCounts := make([]int, g) // satisfied minimum counts
+	tempMin := make([]int, g)
+	var changed []int
+
+	// The loop is bounded: with exact tables all items are placed by
+	// k = n; noisy demands can stall below, so after the cap any
+	// remaining items are appended in score order (documented safeguard
+	// — the published algorithm has no noise and needs none).
+	kCap := 10*n + 100
+	for k := 1; len(ranked) < n && k <= kCap; k++ {
+		for gid := 0; gid < g; gid++ {
+			base := in.Bounds.Lower[min(k, n)-1][gid]
+			if d.Sigma > 0 {
+				base += int(math.Round(rng.NormFloat64() * d.Sigma))
+			}
+			if remaining := len(queues[gid]) - nextIdx[gid]; base > counts[gid]+remaining {
+				base = counts[gid] + remaining
+			}
+			tempMin[gid] = base
+		}
+		changed = changed[:0]
+		for gid := 0; gid < g; gid++ {
+			if minCounts[gid] < tempMin[gid] && nextIdx[gid] < len(queues[gid]) {
+				changed = append(changed, gid)
+			}
+		}
+		if len(changed) == 0 {
+			continue
+		}
+		// Highest next-candidate score first.
+		sort.SliceStable(changed, func(a, b int) bool {
+			sa := in.Scores[queues[changed[a]][nextIdx[changed[a]]]]
+			sb := in.Scores[queues[changed[b]][nextIdx[changed[b]]]]
+			return sa > sb
+		})
+		for _, gid := range changed {
+			// The demand may exceed one unit (noise); place until met or
+			// the queue is empty.
+			for minCounts[gid] < tempMin[gid] && nextIdx[gid] < len(queues[gid]) && len(ranked) < n {
+				item := queues[gid][nextIdx[gid]]
+				nextIdx[gid]++
+				ranked = append(ranked, item)
+				maxIdx = append(maxIdx, k-1)
+				// Bubble up while the item above scores lower and may
+				// legally sink one position.
+				for start := len(ranked) - 1; start > 0; start-- {
+					if maxIdx[start-1] >= start && in.Scores[ranked[start-1]] < in.Scores[ranked[start]] {
+						ranked[start-1], ranked[start] = ranked[start], ranked[start-1]
+						maxIdx[start-1], maxIdx[start] = maxIdx[start], maxIdx[start-1]
+					} else {
+						break
+					}
+				}
+				counts[gid]++
+				minCounts[gid]++
+			}
+		}
+		copy(minCounts, tempMin) // published line: minCounts := tempMinCounts
+	}
+	// Safeguard fill (only reachable with noisy demands).
+	if len(ranked) < n {
+		var rest []int
+		for gid := 0; gid < g; gid++ {
+			rest = append(rest, queues[gid][nextIdx[gid]:]...)
+		}
+		sort.SliceStable(rest, func(a, b int) bool { return in.Scores[rest[a]] > in.Scores[rest[b]] })
+		ranked = append(ranked, rest...)
+	}
+	out := perm.Perm(ranked)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("rankers: detconstsort produced invalid ranking: %w", err)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

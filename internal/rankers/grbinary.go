@@ -1,0 +1,169 @@
+package rankers
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/perm"
+)
+
+// GrBinaryIPF is the exact Kendall-tau-optimal P-fair post-processor for
+// a binary protected attribute, after Wei et al. (SIGMOD'22, the
+// mergesort-inspired GrBinaryIPF).
+//
+// With two groups, a Kendall-tau-optimal fair ranking preserves each
+// group's internal order from the initial ranking (swapping two adjacent
+// same-group items into initial order removes a discordant pair and
+// leaves the group pattern — hence feasibility — unchanged), so the
+// output is a merge of the two group subsequences. Within-group pairs of
+// a merge are always concordant, so the Kendall tau distance to the
+// initial ranking is the number of flipped cross-group pairs, which
+// decomposes over merge steps: appending the i-th A-item while j B-items
+// are placed flips exactly the not-yet-placed B-items that precede it in
+// the initial ranking. That makes the optimal merge a shortest path on
+// the (i, j) grid, masked by per-prefix feasibility of the group-A count
+// — an O(n_A·n_B) dynamic program solved exactly here.
+type GrBinaryIPF struct{}
+
+// Name implements Ranker.
+func (GrBinaryIPF) Name() string { return "gr-binary-ipf" }
+
+// Rank implements Ranker.
+func (GrBinaryIPF) Rank(in Instance, _ *rand.Rand) (perm.Perm, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Groups.NumGroups() != 2 {
+		return nil, fmt.Errorf("rankers: gr-binary-ipf needs exactly 2 groups, have %d", in.Groups.NumGroups())
+	}
+	d := len(in.Initial)
+	if d == 0 {
+		return perm.Perm{}, nil
+	}
+
+	// Group subsequences in initial order.
+	var qa, qb []int
+	for _, item := range in.Initial {
+		if in.Groups.Of(item) == 0 {
+			qa = append(qa, item)
+		} else {
+			qb = append(qb, item)
+		}
+	}
+	na, nb := len(qa), len(qb)
+	pos := in.Initial.Positions()
+
+	// allowed interval of the group-0 count at each prefix length.
+	allowLo := make([]int, d+1)
+	allowHi := make([]int, d+1)
+	for ell := 1; ell <= d; ell++ {
+		lo := maxInt(in.Bounds.Lower[ell-1][0], ell-in.Bounds.Upper[ell-1][1])
+		hi := minInt(in.Bounds.Upper[ell-1][0], ell-in.Bounds.Lower[ell-1][1])
+		lo = maxInt(lo, ell-nb)
+		hi = minInt(hi, minInt(na, ell))
+		allowLo[ell], allowHi[ell] = lo, hi
+	}
+
+	// crossA[i][j] = B-items still unplaced (index ≥ j) that precede
+	// A[i] in the initial ranking — the pairs flipped by placing A[i]
+	// next. Suffix sums over j; crossB symmetric.
+	crossA := make([][]int32, na)
+	for i := 0; i < na; i++ {
+		row := make([]int32, nb+1)
+		for j := nb - 1; j >= 0; j-- {
+			row[j] = row[j+1]
+			if pos[qb[j]] < pos[qa[i]] {
+				row[j]++
+			}
+		}
+		crossA[i] = row
+	}
+	crossB := make([][]int32, nb)
+	for j := 0; j < nb; j++ {
+		row := make([]int32, na+1)
+		for i := na - 1; i >= 0; i-- {
+			row[i] = row[i+1]
+			if pos[qa[i]] < pos[qb[j]] {
+				row[i]++
+			}
+		}
+		crossB[j] = row
+	}
+
+	// Shortest path over states (i, j) = items taken from each queue.
+	const inf = math.MaxInt64 / 4
+	dp := make([][]int64, na+1)
+	from := make([][]int8, na+1) // 0 = came by taking A, 1 = by taking B
+	for i := range dp {
+		dp[i] = make([]int64, nb+1)
+		from[i] = make([]int8, nb+1)
+		for j := range dp[i] {
+			dp[i][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for i := 0; i <= na; i++ {
+		for j := 0; j <= nb; j++ {
+			if dp[i][j] == inf {
+				continue
+			}
+			ell := i + j + 1
+			if ell > d {
+				continue
+			}
+			if i < na && i+1 >= allowLo[ell] && i+1 <= allowHi[ell] {
+				c := dp[i][j] + int64(crossA[i][j])
+				if c < dp[i+1][j] {
+					dp[i+1][j] = c
+					from[i+1][j] = 0
+				}
+			}
+			if j < nb && i >= allowLo[ell] && i <= allowHi[ell] {
+				c := dp[i][j] + int64(crossB[j][i])
+				if c < dp[i][j+1] {
+					dp[i][j+1] = c
+					from[i][j+1] = 1
+				}
+			}
+		}
+	}
+	if dp[na][nb] >= inf {
+		return nil, fmt.Errorf("rankers: gr-binary-ipf: %w", ErrInfeasible)
+	}
+
+	// Reconstruct the merge back to front.
+	out := make(perm.Perm, d)
+	i, j := na, nb
+	for ell := d - 1; ell >= 0; ell-- {
+		if from[i][j] == 0 {
+			i--
+			out[ell] = qa[i]
+		} else {
+			j--
+			out[ell] = qb[j]
+		}
+	}
+	return out, nil
+}
+
+// ErrInfeasible reports that no ranking satisfies the fairness bounds.
+var ErrInfeasible = errInfeasible{}
+
+type errInfeasible struct{}
+
+func (errInfeasible) Error() string { return "no ranking satisfies the fairness bounds" }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package rankers
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/assignment"
+	"repro/internal/perm"
+)
+
+// ApproxMultiValuedIPF is the multi-group P-fair post-processor of Wei
+// et al. (SIGMOD'22, Algorithm 2): the footrule-optimal fair ranking via
+// minimum-weight bipartite matching between candidates and positions.
+//
+// Reconstruction from the published description: in a footrule-optimal
+// fair ranking, each group's members keep their relative order from the
+// initial ranking (uncrossing two same-group members never increases
+// total displacement and preserves the group pattern, hence
+// feasibility). The r-th member of group g must therefore sit in the
+// window
+//
+//	release  e_g(r) = min{ p : Upper_g(p) ≥ r }   (else the prefix p would
+//	                                               hold r > Upper members)
+//	deadline ℓ_g(r) = min{ p : Lower_g(p) ≥ r }   (the prefix that first
+//	                                               demands r members)
+//
+// and conversely — for monotone bound tables, which all tables derived
+// from (α,β) constraints are — any matching that places every member
+// inside its window satisfies every prefix bound. Minimizing
+// Σ|initial position − assigned position| over in-window matchings is
+// exactly the assignment problem, solved by internal/assignment.
+//
+// Sigma > 0 reproduces §V-C: an independent N(0,σ) sample is added to
+// each matching weight at the weight-calculation step, so the matching
+// optimizes noisy displacements while the windows stay exact.
+type ApproxMultiValuedIPF struct {
+	Sigma float64
+}
+
+// Name implements Ranker.
+func (a ApproxMultiValuedIPF) Name() string {
+	if a.Sigma > 0 {
+		return fmt.Sprintf("approx-multivalued-ipf(σ=%g)", a.Sigma)
+	}
+	return "approx-multivalued-ipf"
+}
+
+// Rank implements Ranker.
+func (a ApproxMultiValuedIPF) Rank(in Instance, rng *rand.Rand) (perm.Perm, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Sigma < 0 {
+		return nil, fmt.Errorf("rankers: ipf σ = %v, want ≥ 0", a.Sigma)
+	}
+	if a.Sigma > 0 && rng == nil {
+		return nil, fmt.Errorf("rankers: ipf with σ > 0 needs an RNG")
+	}
+	d := len(in.Initial)
+	if d == 0 {
+		return perm.Perm{}, nil
+	}
+	g := in.Groups.NumGroups()
+
+	// Walk the initial ranking, tracking each item's within-group rank.
+	groupRank := make([]int, d) // 1-based rank of item within its group
+	seen := make([]int, g)
+	for _, item := range in.Initial {
+		gid := in.Groups.Of(item)
+		seen[gid]++
+		groupRank[item] = seen[gid]
+	}
+
+	// Window endpoints per group and within-group rank (1-based
+	// positions). For non-monotone (externally perturbed) tables the
+	// min{} forms below remain necessary conditions; the matching then
+	// still returns a ranking, just without the exactness guarantee.
+	release := make([][]int, g)  // release[g][r-1]
+	deadline := make([][]int, g) // deadline[g][r-1]
+	for gid := 0; gid < g; gid++ {
+		n := seen[gid]
+		release[gid] = make([]int, n)
+		deadline[gid] = make([]int, n)
+		for r := 1; r <= n; r++ {
+			release[gid][r-1] = d + 1 // sentinel: nowhere
+			deadline[gid][r-1] = d    // default: no prefix demands r
+		}
+		for r := 1; r <= n; r++ {
+			for p := 1; p <= d; p++ {
+				if in.Bounds.Upper[p-1][gid] >= r {
+					release[gid][r-1] = p
+					break
+				}
+			}
+			for p := 1; p <= d; p++ {
+				if in.Bounds.Lower[p-1][gid] >= r {
+					deadline[gid][r-1] = p
+					break
+				}
+			}
+		}
+	}
+
+	// Cost matrix: rows = items in initial order, columns = positions.
+	cost := make([][]float64, d)
+	for i, item := range in.Initial {
+		row := make([]float64, d)
+		gid := in.Groups.Of(item)
+		r := groupRank[item]
+		e, dl := release[gid][r-1], deadline[gid][r-1]
+		for j := 0; j < d; j++ {
+			pos := j + 1
+			if pos < e || pos > dl {
+				row[j] = assignment.Forbidden
+				continue
+			}
+			w := math.Abs(float64(i - j))
+			if a.Sigma > 0 {
+				w += rng.NormFloat64() * a.Sigma
+			}
+			row[j] = w
+		}
+		cost[i] = row
+	}
+
+	match, _, err := assignment.Solve(cost)
+	if err != nil {
+		return nil, fmt.Errorf("rankers: ipf matching: %w", err)
+	}
+	out := make(perm.Perm, d)
+	for i, item := range in.Initial {
+		out[match[i]] = item
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("rankers: ipf produced invalid ranking: %w", err)
+	}
+	return out, nil
+}
