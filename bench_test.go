@@ -1,18 +1,22 @@
-package fairrank
+package fairrank_test
 
 // One benchmark per table and figure of the paper's evaluation (§V),
-// plus ablation and micro benchmarks for the design choices called out
-// in DESIGN.md. The figure benchmarks run the exact experiment drivers
-// of internal/experiments with reduced sample counts so that
-// `go test -bench=.` completes quickly; cmd/experiments regenerates the
-// full-fidelity numbers (the default configs there mirror the paper).
+// plus ablation and micro benchmarks for design choices, plus serving
+// benchmarks for the reusable Ranker and the batch service. The figure
+// benchmarks run the exact experiment drivers of internal/experiments
+// with reduced sample counts so that `go test -bench=.` completes
+// quickly; cmd/experiments regenerates the full-fidelity numbers (the
+// default configs there mirror the paper).
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
+	fairrank "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/quality"
 	"repro/internal/rankdist"
 	"repro/internal/rankers"
+	"repro/internal/service"
 )
 
 // --- Figure and table benchmarks -----------------------------------------
@@ -452,4 +457,106 @@ func BenchmarkSimplexLP(b *testing.B) {
 
 func benchName(prefix string, v int) string {
 	return prefix + "=" + strconv.Itoa(v)
+}
+
+// --- Serving benchmarks ---------------------------------------------------
+
+// servingPool builds an n-candidate two-group pool with group-biased
+// scores, the serving layer's workhorse shape.
+func servingPool(n int) []fairrank.Candidate {
+	rng := rand.New(rand.NewSource(12))
+	groups := []string{"a", "b"}
+	pool := make([]fairrank.Candidate, n)
+	for i := range pool {
+		g := groups[i%2]
+		bias := 0.0
+		if g == "a" {
+			bias = 2
+		}
+		pool[i] = fairrank.Candidate{
+			ID:    "c" + strconv.Itoa(i),
+			Score: bias + rng.Float64(),
+			Group: g,
+		}
+	}
+	return pool
+}
+
+// BenchmarkRankerReuse is the case for the reusable engine at n=1000:
+// "per-call" pays the package-level Rank's per-request setup (fresh RNG,
+// displacement math re-derived per draw, per-sample criterion setup,
+// fresh buffers); "reused" serves the same requests from one Ranker's
+// warm caches; "reused-parallel" adds the fan-out of the best-of-m draws
+// across cores. All three produce identically distributed rankings, and
+// "reused" is bit-identical to "per-call" seed for seed.
+func BenchmarkRankerReuse(b *testing.B) {
+	pool := servingPool(1000)
+	cfg := fairrank.Config{Algorithm: fairrank.AlgorithmMallowsBest, Theta: 1, Samples: 15}
+	b.Run("per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed = int64(i)
+			if _, err := fairrank.Rank(pool, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		r, err := fairrank.NewRanker(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Rank(pool, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-parallel", func(b *testing.B) {
+		r, err := fairrank.NewRanker(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers := runtime.GOMAXPROCS(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RankParallel(pool, int64(i), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceBatch measures batch throughput of the serving layer:
+// independent 200-candidate requests ranked concurrently through the
+// bounded worker pool.
+func BenchmarkServiceBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 64} {
+		b.Run(benchName("batch", size), func(b *testing.B) {
+			svc := service.New(service.Config{})
+			pool := make([]service.Candidate, 200)
+			for i := range pool {
+				pool[i] = service.Candidate{ID: "c" + strconv.Itoa(i), Score: float64(200 - i%97), Group: []string{"a", "b"}[i%2]}
+			}
+			batch := &service.BatchRequest{}
+			for i := 0; i < size; i++ {
+				batch.Requests = append(batch.Requests, service.RankRequest{Candidates: pool, Seed: int64(i)})
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := svc.RankBatch(ctx, batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, item := range resp.Items {
+					if item.Error != "" {
+						b.Fatalf("item %d: %s", j, item.Error)
+					}
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
 }

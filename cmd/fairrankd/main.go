@@ -1,0 +1,83 @@
+// Command fairrankd serves fair rankings over HTTP.
+//
+// It exposes the serving layer of internal/service:
+//
+//	POST /v1/rank        rank one candidate pool
+//	POST /v1/rank/batch  rank many independent pools concurrently
+//	GET  /healthz        liveness probe
+//
+// Example:
+//
+//	fairrankd -addr :8080 -workers 8
+//
+//	curl -s localhost:8080/v1/rank -d '{
+//	  "candidates": [
+//	    {"id": "ava",  "score": 5.2, "group": "f"},
+//	    {"id": "emil", "score": 9.9, "group": "m"}
+//	  ],
+//	  "algorithm": "mallows-best", "theta": 1, "samples": 15, "seed": 42
+//	}'
+//
+// Responses are deterministic: equal requests with equal seeds return
+// equal rankings. The server amortizes work across requests through
+// reusable ranking engines (see fairrank.Ranker), so sustained traffic
+// with recurring pool sizes runs allocation-light.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("fairrankd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size bounding ranking concurrency (0 = GOMAXPROCS)")
+	maxCandidates := flag.Int("max-candidates", 0, "largest accepted candidate pool (0 = default 100000)")
+	maxBatch := flag.Int("max-batch", 0, "largest accepted batch (0 = default 1024)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		MaxCandidates: *maxCandidates,
+		MaxBatch:      *maxBatch,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
+}

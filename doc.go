@@ -23,13 +23,29 @@
 //		Seed:      42,
 //	})
 //
+// # Serving
+//
+// Rank rebuilds everything per call. For sustained traffic, construct a
+// Ranker once and reuse it across requests and goroutines:
+//
+//	r, err := fairrank.NewRanker(fairrank.Config{Theta: 1, Samples: 15})
+//	// per request:
+//	ranked, err := r.Rank(candidates, seed)
+//
+// A Ranker returns exactly what Rank would for the same seed while
+// caching Mallows insertion-probability tables per pool size, the DCG
+// discount table, permutation scratch buffers, and pooled RNGs.
+// Ranker.RankParallel additionally fans the best-of-m draws across
+// goroutines, deterministically in the seed. The HTTP serving layer in
+// internal/service and cmd/fairrankd builds on this type.
+//
 // Alongside the Mallows mechanism the package exposes the evaluated
 // baselines (DetConstSort, ApproxMultiValuedIPF, GrBinaryIPF, and the
 // exact DCG-optimal fair ranking of the paper's ILP) and the metrics of
 // the evaluation: NDCG, Kendall tau, the Two-Sided Infeasible Index and
 // the percentage of P-fair positions.
 //
-// Implementation lives under internal/; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduction of every table and
-// figure.
+// Implementation lives under internal/; see README.md for install,
+// configuration tables, and command usage, and docs/ARCHITECTURE.md for
+// the package map and the data flow of a ranking request.
 package fairrank

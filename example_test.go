@@ -83,6 +83,46 @@ func ExamplePPfairTopK() {
 	// shortlist PPfair = 0%
 }
 
+func ExampleNewRanker() {
+	// A Ranker is built once and reused across requests, amortizing the
+	// per-call setup. For equal seeds it returns exactly what Rank
+	// returns.
+	cfg := fairrank.Config{
+		Algorithm: fairrank.AlgorithmMallowsBest,
+		Central:   fairrank.CentralFairDCG,
+		Criterion: fairrank.CriterionKT,
+		Theta:     2,
+		Tolerance: 0.15,
+	}
+	r, err := fairrank.NewRanker(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := r.Rank(examplePool(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Printf("%d. %s (%s)\n", i+1, ranked[i].ID, ranked[i].Group)
+	}
+	cfg.Seed = 42
+	oneShot, err := fairrank.Rank(examplePool(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	for i := range ranked {
+		same = same && ranked[i].ID == oneShot[i].ID
+	}
+	fmt.Println("matches one-shot Rank:", same)
+	// Output:
+	// 1. emil (m)
+	// 2. finn (m)
+	// 3. ava (f)
+	// 4. gus (m)
+	// matches one-shot Rank: true
+}
+
 func ExampleKendallTau() {
 	pool := examplePool()
 	byScore, err := fairrank.Rank(pool, fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted})

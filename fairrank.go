@@ -87,6 +87,10 @@ const (
 	CriterionKT Criterion = "kt"
 )
 
+// DefaultSamples is the best-of-m draw count used when Config.Samples
+// is zero.
+const DefaultSamples = 15
+
 // Config parameterizes Rank. The zero value is usable: it runs
 // AlgorithmMallowsBest with the defaults below.
 type Config struct {
@@ -134,7 +138,7 @@ func (c Config) withDefaults(n int) Config {
 		c.Theta = 1
 	}
 	if c.Samples == 0 {
-		c.Samples = 15
+		c.Samples = DefaultSamples
 	}
 	if c.Tolerance == 0 {
 		c.Tolerance = 0.1
@@ -148,41 +152,54 @@ func (c Config) withDefaults(n int) Config {
 	return c
 }
 
+// strategy maps the configured algorithm onto its internal/rankers
+// implementation. c must already have defaults applied.
+func (c Config) strategy() (rankers.Ranker, error) {
+	switch c.Algorithm {
+	case AlgorithmMallows:
+		return rankers.Mallows{Theta: c.Theta, Samples: 1, Criterion: rankers.SelectFirst}, nil
+	case AlgorithmMallowsBest:
+		crit := rankers.SelectNDCG
+		switch c.Criterion {
+		case CriterionNDCG:
+		case CriterionKT:
+			crit = rankers.SelectKT
+		default:
+			return nil, fmt.Errorf("fairrank: unknown criterion %q", c.Criterion)
+		}
+		return rankers.Mallows{Theta: c.Theta, Samples: c.Samples, Criterion: crit}, nil
+	case AlgorithmDetConstSort:
+		return rankers.DetConstSort{Sigma: c.Sigma}, nil
+	case AlgorithmIPF:
+		return rankers.ApproxMultiValuedIPF{Sigma: c.Sigma}, nil
+	case AlgorithmGrBinary:
+		return rankers.GrBinaryIPF{}, nil
+	case AlgorithmILP:
+		return rankers.ILPRanker{Sigma: c.Sigma}, nil
+	case AlgorithmScoreSorted:
+		return rankers.ScoreSorted{}, nil
+	default:
+		return nil, fmt.Errorf("fairrank: unknown algorithm %q", c.Algorithm)
+	}
+}
+
 // Rank post-processes candidates into a fair ranking with the configured
 // algorithm and returns them in ranked order (best first). The input
 // slice is not modified.
+//
+// Rank builds everything it needs from scratch on every call. When
+// serving many requests with one configuration, construct a Ranker once
+// instead: it produces identical rankings for identical seeds while
+// amortizing the per-call setup.
 func Rank(candidates []Candidate, cfg Config) ([]Candidate, error) {
 	in, err := buildInstance(candidates, cfg)
 	if err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults(len(candidates))
-	var ranker rankers.Ranker
-	switch cfg.Algorithm {
-	case AlgorithmMallows:
-		ranker = rankers.Mallows{Theta: cfg.Theta, Samples: 1, Criterion: rankers.SelectFirst}
-	case AlgorithmMallowsBest:
-		crit := rankers.SelectNDCG
-		switch cfg.Criterion {
-		case CriterionNDCG:
-		case CriterionKT:
-			crit = rankers.SelectKT
-		default:
-			return nil, fmt.Errorf("fairrank: unknown criterion %q", cfg.Criterion)
-		}
-		ranker = rankers.Mallows{Theta: cfg.Theta, Samples: cfg.Samples, Criterion: crit}
-	case AlgorithmDetConstSort:
-		ranker = rankers.DetConstSort{Sigma: cfg.Sigma}
-	case AlgorithmIPF:
-		ranker = rankers.ApproxMultiValuedIPF{Sigma: cfg.Sigma}
-	case AlgorithmGrBinary:
-		ranker = rankers.GrBinaryIPF{}
-	case AlgorithmILP:
-		ranker = rankers.ILPRanker{Sigma: cfg.Sigma}
-	case AlgorithmScoreSorted:
-		ranker = rankers.ScoreSorted{}
-	default:
-		return nil, fmt.Errorf("fairrank: unknown algorithm %q", cfg.Algorithm)
+	ranker, err := cfg.strategy()
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	out, err := ranker.Rank(in, rng)

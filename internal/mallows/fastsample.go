@@ -1,10 +1,112 @@
 package mallows
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/perm"
 )
+
+// Tables precomputes the per-position quantities of the truncated-
+// geometric displacement draw for a fixed (n, θ): 1 − q^j for every
+// insertion step j and ln q, where q = e^{−θ}. A single table serves
+// every sample drawn from any model over n items with dispersion θ, so a
+// serving layer can build it once per (n, θ) and amortize the e^{−θ} and
+// q^j evaluations that Sample otherwise repeats on every displacement.
+//
+// Displacement draws through Tables consume the RNG stream exactly like
+// the table-free samplers and reproduce their arithmetic bit for bit, so
+// equal seeds yield identical permutations with or without tables.
+type Tables struct {
+	n     int
+	theta float64
+	logQ  float64   // ln q, q = e^{−θ}; 0 when θ = 0
+	cdfZ  []float64 // cdfZ[j] = 1 − q^j, the CDF normalizer at step j
+}
+
+// NewTables builds displacement tables for models over n items with
+// dispersion theta.
+func NewTables(n int, theta float64) (*Tables, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mallows: tables over %d items", n)
+	}
+	if math.IsNaN(theta) || theta < 0 {
+		return nil, fmt.Errorf("mallows: dispersion θ = %v, want ≥ 0", theta)
+	}
+	t := &Tables{n: n, theta: theta}
+	if theta > 0 {
+		// Compute q, ln q, and q^j exactly as sampleDisplacement does
+		// (Exp then Log/Pow, not −θ and iterated products) so draws match
+		// the table-free path bit for bit.
+		q := math.Exp(-theta)
+		t.logQ = math.Log(q)
+		t.cdfZ = make([]float64, n+1)
+		for j := 0; j <= n; j++ {
+			t.cdfZ[j] = 1 - math.Pow(q, float64(j))
+		}
+	}
+	return t, nil
+}
+
+// N returns the number of items the tables cover.
+func (t *Tables) N() int { return t.n }
+
+// Theta returns the dispersion the tables were built for.
+func (t *Tables) Theta() float64 { return t.theta }
+
+// Displacement draws V ∈ {0,…,j−1} with P(V=v) ∝ e^{−θv}, the j-th
+// insertion displacement, using the precomputed normalizers. It panics if
+// j exceeds the table size.
+func (t *Tables) Displacement(j int, rng *rand.Rand) int {
+	if j <= 1 {
+		return 0
+	}
+	if t.theta == 0 {
+		return rng.Intn(j)
+	}
+	u := rng.Float64()
+	x := math.Log1p(-u*t.cdfZ[j]) / t.logQ
+	v := int(math.Ceil(x)) - 1
+	if v < 0 {
+		v = 0
+	}
+	if v > j-1 {
+		v = j - 1
+	}
+	return v
+}
+
+// Tables returns displacement tables matching the model.
+func (m *Model) Tables() *Tables {
+	t, err := NewTables(m.N(), m.Theta)
+	if err != nil {
+		panic(err) // unreachable: Model invariants guarantee valid (n, θ)
+	}
+	return t
+}
+
+// SampleInto is Sample drawing its displacements through t and writing
+// the permutation into out, which must have capacity ≥ n; it returns the
+// (possibly reallocated) sample. With cap(out) ≥ n and precomputed
+// tables, a draw performs no allocation, which is what the serving
+// layer's scratch-buffer reuse relies on. Panics if t covers fewer items
+// than the model or was built for a different dispersion.
+func (m *Model) SampleInto(t *Tables, out perm.Perm, rng *rand.Rand) perm.Perm {
+	n := m.N()
+	if t.n < n || t.theta != m.Theta {
+		panic(fmt.Sprintf("mallows: tables for (n=%d, θ=%g) used with model (n=%d, θ=%g)", t.n, t.theta, n, m.Theta))
+	}
+	out = out[:0]
+	for j := 1; j <= n; j++ {
+		v := t.Displacement(j, rng)
+		idx := j - 1 - v // v items already placed end up below the new one
+		out = append(out, 0)
+		copy(out[idx+1:], out[idx:])
+		out[idx] = m.Center[j-1]
+	}
+	return out
+}
 
 // SampleFast draws one permutation from the model in O(n log n)
 // worst case, against Sample's O(n + total displacement) slice
@@ -26,18 +128,55 @@ import (
 // The displacement distribution is identical to Sample's, so the two
 // samplers draw from the same Mallows distribution; they consume the
 // RNG stream in different orders, so corresponding draws differ.
+//
+// SampleFast builds its tables and Fenwick tree per call; repeated
+// draws should construct a FastSampler once and reuse it.
 func (m *Model) SampleFast(rng *rand.Rand) perm.Perm {
-	n := m.N()
-	out := make(perm.Perm, n)
+	return m.NewFastSampler(nil).Sample(rng)
+}
+
+// FastSampler couples a model with its displacement tables and a
+// reusable Fenwick tree, so repeated SampleFast-style draws build
+// nothing but the output permutation — and not even that when the caller
+// provides scratch via SampleInto. It is not safe for concurrent use;
+// pool FastSamplers to share across goroutines.
+type FastSampler struct {
+	m    *Model
+	t    *Tables
+	tree *freeSlots
+}
+
+// NewFastSampler returns a reusable Fenwick-tree sampler for the model.
+// t may be nil, in which case tables are built; otherwise it must cover
+// the model's size and dispersion (see Model.SampleInto).
+func (m *Model) NewFastSampler(t *Tables) *FastSampler {
+	if t == nil {
+		t = m.Tables()
+	} else if t.n < m.N() || t.theta != m.Theta {
+		panic(fmt.Sprintf("mallows: tables for (n=%d, θ=%g) used with model (n=%d, θ=%g)", t.n, t.theta, m.N(), m.Theta))
+	}
+	return &FastSampler{m: m, t: t, tree: newFreeSlots(m.N())}
+}
+
+// Sample draws one permutation; it is distribution- and stream-identical
+// to Model.SampleFast with the same RNG.
+func (s *FastSampler) Sample(rng *rand.Rand) perm.Perm {
+	return s.SampleInto(make(perm.Perm, s.m.N()), rng)
+}
+
+// SampleInto is Sample writing into out, which must have capacity ≥ n.
+func (s *FastSampler) SampleInto(out perm.Perm, rng *rand.Rand) perm.Perm {
+	n := s.m.N()
+	out = out[:n]
 	if n == 0 {
 		return out
 	}
-	tree := newFreeSlots(n)
+	s.tree.reset()
 	for j := n; j >= 1; j-- {
-		v := sampleDisplacement(j, m.Theta, rng)
+		v := s.t.Displacement(j, rng)
 		idx := j - 1 - v // insertion index among the j items present
-		rank := tree.takeKth(idx)
-		out[rank] = m.Center[j-1]
+		rank := s.tree.takeKth(idx)
+		out[rank] = s.m.Center[j-1]
 	}
 	return out
 }
@@ -52,16 +191,23 @@ type freeSlots struct {
 
 func newFreeSlots(n int) *freeSlots {
 	f := &freeSlots{n: n, tree: make([]int, n+1)}
-	for i := 1; i <= n; i++ {
-		f.tree[i] += 1
-		if j := i + (i & -i); j <= n {
-			f.tree[j] += f.tree[i]
-		}
-	}
+	f.reset()
 	for 1<<(f.log2+1) <= n {
 		f.log2++
 	}
 	return f
+}
+
+// reset marks every slot free again in O(n), letting one tree serve many
+// draws.
+func (f *freeSlots) reset() {
+	clear(f.tree)
+	for i := 1; i <= f.n; i++ {
+		f.tree[i] += 1
+		if j := i + (i & -i); j <= f.n {
+			f.tree[j] += f.tree[i]
+		}
+	}
 }
 
 // takeKth removes and returns the 0-based position of the (k+1)-th free

@@ -1,0 +1,41 @@
+package perm
+
+import "sync"
+
+// Pool recycles scratch permutations of one fixed size across goroutines.
+// A serving layer that ranks many same-sized requests uses it to keep
+// sampling and selection allocation-free on the steady state: Get a
+// buffer, let a sampler overwrite it, Put it back.
+//
+// Buffers come back with unspecified contents — they are scratch, not
+// permutations; callers must fully overwrite them before reading.
+type Pool struct {
+	d int
+	p sync.Pool
+}
+
+// NewPool returns a pool of scratch permutations of size d.
+func NewPool(d int) *Pool {
+	pl := &Pool{d: d}
+	pl.p.New = func() any { return make(Perm, d) }
+	return pl
+}
+
+// Size returns the length of the permutations the pool hands out.
+func (pl *Pool) Size() int { return pl.d }
+
+// Get returns a scratch permutation of length Size with unspecified
+// contents and capacity ≥ Size.
+func (pl *Pool) Get() Perm {
+	return pl.p.Get().(Perm)[:pl.d]
+}
+
+// Put returns a buffer to the pool. Buffers of a different capacity are
+// dropped, so a pool can safely receive slices that were reallocated or
+// came from elsewhere.
+func (pl *Pool) Put(q Perm) {
+	if cap(q) < pl.d {
+		return
+	}
+	pl.p.Put(q[:pl.d])
+}

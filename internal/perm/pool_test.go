@@ -1,0 +1,43 @@
+package perm
+
+import "testing"
+
+func TestPoolRoundTrip(t *testing.T) {
+	pl := NewPool(5)
+	if pl.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", pl.Size())
+	}
+	b := pl.Get()
+	if len(b) != 5 {
+		t.Fatalf("Get returned length %d, want 5", len(b))
+	}
+	copy(b, Identity(5))
+	pl.Put(b)
+	c := pl.Get()
+	if len(c) != 5 {
+		t.Fatalf("recycled buffer has length %d, want 5", len(c))
+	}
+}
+
+func TestPoolDropsUndersized(t *testing.T) {
+	pl := NewPool(8)
+	pl.Put(make(Perm, 3)) // must be dropped, not handed back short
+	if got := pl.Get(); len(got) != 8 {
+		t.Fatalf("Get after undersized Put returned length %d, want 8", len(got))
+	}
+}
+
+func TestPoolAcceptsOversized(t *testing.T) {
+	pl := NewPool(4)
+	pl.Put(make(Perm, 10))
+	if got := pl.Get(); len(got) != 4 {
+		t.Fatalf("Get returned length %d, want 4", len(got))
+	}
+}
+
+func TestPoolZeroSize(t *testing.T) {
+	pl := NewPool(0)
+	if got := pl.Get(); len(got) != 0 {
+		t.Fatalf("Get returned length %d, want 0", len(got))
+	}
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies accepted by the HTTP handler.
+const maxBodyBytes = 32 << 20
+
+// NewHandler exposes the service over HTTP:
+//
+//	POST /v1/rank        RankRequest  → RankResponse
+//	POST /v1/rank/batch  BatchRequest → BatchResponse
+//	GET  /healthz        liveness probe
+//
+// Request-caused failures (ErrInvalid, malformed JSON) return 400 with a
+// JSON {"error": "..."} body; anything else returns 500.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rank", func(w http.ResponseWriter, r *http.Request) {
+		var req RankRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Rank(r.Context(), &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/rank/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.RankBatch(r.Context(), &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrInvalid) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures past WriteHeader can only be logged by the
+	// server; the types here marshal unconditionally.
+	_ = json.NewEncoder(w).Encode(v)
+}

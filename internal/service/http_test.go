@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(New(Config{Workers: 4})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// End-to-end: POST /v1/rank returns a complete, deterministic ranking.
+func TestHTTPRankEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+	req := RankRequest{Candidates: pool(20), Samples: ptr(10), Seed: 42}
+	resp, body := postJSON(t, srv.URL+"/v1/rank", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var out RankResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ranking) != 20 || out.Ranking[0].Rank != 1 {
+		t.Fatalf("bad ranking shape: %+v", out)
+	}
+	// Same request over the wire again → same ranking.
+	_, body2 := postJSON(t, srv.URL+"/v1/rank", req)
+	var out2 RankResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Ranking, out2.Ranking) {
+		t.Fatal("equal-seed HTTP requests returned different rankings")
+	}
+}
+
+// End-to-end: POST /v1/rank/batch answers every entry in order.
+func TestHTTPBatchEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+	batch := BatchRequest{Requests: []RankRequest{
+		{Candidates: pool(10), Seed: 1},
+		{Candidates: pool(10), Algorithm: "score", Seed: 2},
+		{Candidates: nil, Seed: 3}, // invalid entry fails alone
+	}}
+	resp, body := postJSON(t, srv.URL+"/v1/rank/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 3 {
+		t.Fatalf("%d items, want 3", len(out.Items))
+	}
+	if out.Items[0].Response == nil || out.Items[1].Response == nil {
+		t.Fatalf("valid entries failed: %+v", out.Items)
+	}
+	if out.Items[1].Response.Algorithm != "score" {
+		t.Errorf("entry 1 algorithm = %q", out.Items[1].Response.Algorithm)
+	}
+	if !strings.Contains(out.Items[2].Error, "empty candidate set") {
+		t.Errorf("entry 2 error = %q", out.Items[2].Error)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	// Malformed JSON → 400.
+	resp, err := http.Post(srv.URL+"/v1/rank", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	// Validation failure → 400 with a JSON error body.
+	resp2, body := postJSON(t, srv.URL+"/v1/rank", RankRequest{})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty candidates: status %d, want 400", resp2.StatusCode)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Errorf("error body %q lacks an error field", body)
+	}
+	// Wrong method → 405.
+	resp3, err := http.Get(srv.URL + "/v1/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/rank: status %d, want 405", resp3.StatusCode)
+	}
+	// Unknown route → 404.
+	resp4, err := http.Get(srv.URL + "/v2/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v2/rank: status %d, want 404", resp4.StatusCode)
+	}
+}

@@ -1,0 +1,282 @@
+// Package service is the serving layer over the fairrank library: typed
+// request/response DTOs, request validation, a cache of reusable
+// fairrank.Ranker engines keyed by configuration, and a bounded worker
+// pool that both fans a single request's best-of-m Mallows draws across
+// idle workers and ranks the independent requests of a batch
+// concurrently. cmd/fairrankd exposes it over HTTP; the package itself
+// is transport-agnostic so other frontends (gRPC, queues) can reuse it.
+//
+// Responses are deterministic: equal requests with equal seeds produce
+// equal rankings, regardless of worker count or batch position.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	fairrank "repro"
+)
+
+// ErrInvalid tags failures caused by the request rather than the
+// service; transports should map it to their bad-request status.
+var ErrInvalid = errors.New("invalid request")
+
+// invalidf wraps a request-caused failure with ErrInvalid.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Config parameterizes the service. The zero value is usable.
+type Config struct {
+	// Workers bounds the service's total ranking concurrency: at most
+	// Workers goroutines sample at any moment, shared between the
+	// parallel best-of-m draws of single requests and the entries of
+	// batches. Default GOMAXPROCS.
+	Workers int
+	// MaxCandidates rejects larger candidate pools. Default 100000.
+	MaxCandidates int
+	// MaxBatch rejects larger batches. Default 1024.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 100000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	return c
+}
+
+// maxCachedRankers caps the configuration → Ranker cache; requests with
+// configurations beyond the cap still work through one-shot Rankers.
+const maxCachedRankers = 256
+
+// Service ranks requests. Construct with New; safe for concurrent use.
+type Service struct {
+	cfg Config
+	sem chan struct{} // one slot per concurrently sampling goroutine
+
+	mu      sync.Mutex
+	rankers map[fairrank.Config]*fairrank.Ranker
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		rankers: make(map[fairrank.Config]*fairrank.Ranker),
+	}
+}
+
+// Rank serves one ranking request. The best-of-m Mallows draws run on as
+// many idle workers as the pool has free (at least one); the worker
+// count never changes the result.
+func (s *Service) Rank(ctx context.Context, req *RankRequest) (*RankResponse, error) {
+	return s.rank(ctx, req, s.cfg.Workers)
+}
+
+// RankBatch serves independent requests concurrently through the worker
+// pool and returns one BatchItem per request, in request order. Entries
+// fail independently: a bad request yields an Error item without
+// affecting its neighbors.
+func (s *Service) RankBatch(ctx context.Context, batch *BatchRequest) (*BatchResponse, error) {
+	if len(batch.Requests) == 0 {
+		return nil, invalidf("empty batch")
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		return nil, invalidf("batch of %d requests exceeds the limit of %d", len(batch.Requests), s.cfg.MaxBatch)
+	}
+	items := make([]BatchItem, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One pool slot per entry: entries parallelize across the
+			// pool, draws within an entry stay sequential. RankParallel
+			// results are worker-invariant, so an entry ranks identically
+			// here and as a single request.
+			resp, err := s.rank(ctx, &batch.Requests[i], 1)
+			if err != nil {
+				items[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			items[i] = BatchItem{Response: resp}
+		}(i)
+	}
+	wg.Wait()
+	return &BatchResponse{Items: items}, nil
+}
+
+func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*RankResponse, error) {
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	ranker, err := s.ranker(req.config())
+	if err != nil {
+		return nil, err
+	}
+	// Never hold slots the request cannot use: only the best-of-m loop
+	// parallelizes, and at most one goroutine per draw.
+	if p := parallelism(req); p < maxWorkers {
+		maxWorkers = p
+	}
+	workers, err := s.acquireUpTo(ctx, maxWorkers)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(workers)
+	cands := make([]fairrank.Candidate, len(req.Candidates))
+	for i, c := range req.Candidates {
+		cands[i] = fairrank.Candidate{ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
+	}
+	ranked, err := ranker.RankParallel(cands, req.Seed, workers)
+	if err != nil {
+		// Ranking failures are input-caused (e.g. a constraint algorithm
+		// over groups too small for the tolerance); report them as such.
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	ndcg, err := fairrank.NDCG(ranked)
+	if err != nil {
+		return nil, err
+	}
+	resp := &RankResponse{
+		Algorithm: string(ranker.Config().Algorithm),
+		Ranking:   make([]RankedCandidate, len(ranked)),
+		NDCG:      ndcg,
+	}
+	if resp.Algorithm == "" {
+		resp.Algorithm = string(fairrank.AlgorithmMallowsBest)
+	}
+	for i, c := range ranked {
+		resp.Ranking[i] = RankedCandidate{Rank: i + 1, ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
+	}
+	return resp, nil
+}
+
+// validate rejects malformed requests before any ranking work starts.
+func (s *Service) validate(req *RankRequest) error {
+	if len(req.Candidates) == 0 {
+		return invalidf("empty candidate set")
+	}
+	if len(req.Candidates) > s.cfg.MaxCandidates {
+		return invalidf("%d candidates exceed the limit of %d", len(req.Candidates), s.cfg.MaxCandidates)
+	}
+	seen := make(map[string]bool, len(req.Candidates))
+	for i, c := range req.Candidates {
+		if c.ID == "" {
+			return invalidf("candidate %d has an empty id", i)
+		}
+		if seen[c.ID] {
+			return invalidf("duplicate candidate id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if req.Theta != nil && !(*req.Theta > 0) {
+		return invalidf("theta = %v, want > 0", *req.Theta)
+	}
+	if req.Samples != nil && *req.Samples < 1 {
+		return invalidf("samples = %d, want ≥ 1", *req.Samples)
+	}
+	if req.Tolerance != nil && !(*req.Tolerance >= 0) {
+		return invalidf("tolerance = %v, want ≥ 0", *req.Tolerance)
+	}
+	if req.WeakK < 0 {
+		return invalidf("weak_k = %d, want ≥ 0", req.WeakK)
+	}
+	return nil
+}
+
+// parallelism returns how many workers the request can actually use:
+// the best-of-m draw count for mallows-best (the only algorithm whose
+// sampling loop fans out), 1 for everything else.
+func parallelism(req *RankRequest) int {
+	if req.Algorithm != "" && req.Algorithm != string(fairrank.AlgorithmMallowsBest) {
+		return 1
+	}
+	if req.Samples != nil {
+		return *req.Samples
+	}
+	return fairrank.DefaultSamples
+}
+
+// config maps the wire request onto the library configuration; omitted
+// fields stay zero and take the library defaults.
+func (req *RankRequest) config() fairrank.Config {
+	cfg := fairrank.Config{
+		Algorithm: fairrank.Algorithm(req.Algorithm),
+		Central:   fairrank.Central(req.Central),
+		Criterion: fairrank.Criterion(req.Criterion),
+		WeakK:     req.WeakK,
+		Sigma:     req.Sigma,
+	}
+	if req.Theta != nil {
+		cfg.Theta = *req.Theta
+	}
+	if req.Samples != nil {
+		cfg.Samples = *req.Samples
+	}
+	if req.Tolerance != nil {
+		cfg.Tolerance = *req.Tolerance
+	}
+	return cfg
+}
+
+// ranker returns the cached reusable engine for cfg, building and
+// caching it on first use. Unknown algorithm/central/criterion names
+// surface here as ErrInvalid.
+func (s *Service) ranker(cfg fairrank.Config) (*fairrank.Ranker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.rankers[cfg]; ok {
+		return r, nil
+	}
+	r, err := fairrank.NewRanker(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if len(s.rankers) < maxCachedRankers {
+		s.rankers[cfg] = r
+	}
+	return r, nil
+}
+
+// acquireUpTo takes between 1 and max worker slots: it blocks for the
+// first and opportunistically grabs free ones up to max. It returns the
+// number taken, to be released with release.
+func (s *Service) acquireUpTo(ctx context.Context, max int) (int, error) {
+	if max < 1 {
+		max = 1
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	n := 1
+	for n < max {
+		select {
+		case s.sem <- struct{}{}:
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (s *Service) release(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func pool(n int) []Candidate {
+	groups := []string{"a", "b"}
+	out := make([]Candidate, n)
+	for i := range out {
+		out[i] = Candidate{
+			ID:    fmt.Sprintf("c%03d", i),
+			Score: float64(n - i),
+			Group: groups[i%len(groups)],
+		}
+	}
+	return out
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestValidationErrors(t *testing.T) {
+	s := New(Config{Workers: 2})
+	cases := []struct {
+		name string
+		req  RankRequest
+		want string
+	}{
+		{"empty candidates", RankRequest{}, "empty candidate set"},
+		{"empty id", RankRequest{Candidates: []Candidate{{ID: "", Score: 1, Group: "a"}}}, "empty id"},
+		{"duplicate ids", RankRequest{Candidates: []Candidate{
+			{ID: "x", Score: 2, Group: "a"}, {ID: "x", Score: 1, Group: "b"},
+		}}, `duplicate candidate id "x"`},
+		{"zero theta", RankRequest{Candidates: pool(4), Theta: ptr(0.0)}, "theta = 0"},
+		{"negative theta", RankRequest{Candidates: pool(4), Theta: ptr(-1.5)}, "theta = -1.5"},
+		{"zero samples", RankRequest{Candidates: pool(4), Samples: ptr(0)}, "samples = 0"},
+		{"negative tolerance", RankRequest{Candidates: pool(4), Tolerance: ptr(-0.1)}, "tolerance = -0.1"},
+		{"negative weak_k", RankRequest{Candidates: pool(4), WeakK: -2}, "weak_k = -2"},
+		{"unknown algorithm", RankRequest{Candidates: pool(4), Algorithm: "quicksort"}, `unknown algorithm "quicksort"`},
+		{"unknown central", RankRequest{Candidates: pool(4), Central: "median"}, `unknown central ranking "median"`},
+		{"unknown criterion", RankRequest{Candidates: pool(4), Criterion: "vibes"}, `unknown criterion "vibes"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := s.Rank(context.Background(), &tc.req)
+			if err == nil {
+				t.Fatal("accepted invalid request")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v is not ErrInvalid", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRankLimits(t *testing.T) {
+	s := New(Config{Workers: 2, MaxCandidates: 10, MaxBatch: 2})
+	if _, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(11)}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("oversized pool: got %v, want ErrInvalid", err)
+	}
+	batch := &BatchRequest{Requests: []RankRequest{
+		{Candidates: pool(4)}, {Candidates: pool(4)}, {Candidates: pool(4)},
+	}}
+	if _, err := s.RankBatch(context.Background(), batch); !errors.Is(err, ErrInvalid) {
+		t.Errorf("oversized batch: got %v, want ErrInvalid", err)
+	}
+	if _, err := s.RankBatch(context.Background(), &BatchRequest{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty batch: got %v, want ErrInvalid", err)
+	}
+}
+
+func TestRankDefaultsAndShape(t *testing.T) {
+	s := New(Config{Workers: 4})
+	req := &RankRequest{Candidates: pool(12), Seed: 5}
+	resp, err := s.Rank(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != "mallows-best" {
+		t.Errorf("default algorithm reported as %q", resp.Algorithm)
+	}
+	if len(resp.Ranking) != 12 {
+		t.Fatalf("ranking has %d entries, want 12", len(resp.Ranking))
+	}
+	seen := map[string]bool{}
+	for i, rc := range resp.Ranking {
+		if rc.Rank != i+1 {
+			t.Errorf("entry %d has rank %d", i, rc.Rank)
+		}
+		if seen[rc.ID] {
+			t.Errorf("candidate %q ranked twice", rc.ID)
+		}
+		seen[rc.ID] = true
+	}
+	if resp.NDCG <= 0 || resp.NDCG > 1+1e-9 {
+		t.Errorf("NDCG = %v", resp.NDCG)
+	}
+}
+
+// Equal seeds must yield equal rankings: across repeated calls, across
+// worker counts, and across single-vs-batch serving.
+func TestEqualSeedDeterminism(t *testing.T) {
+	req := func(seed int64) RankRequest {
+		return RankRequest{Candidates: pool(40), Samples: ptr(12), Seed: seed}
+	}
+	base, err := New(Config{Workers: 1}).Rank(context.Background(), ptrReq(req(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		s := New(Config{Workers: workers})
+		got, err := s.Rank(context.Background(), ptrReq(req(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Ranking, base.Ranking) {
+			t.Fatalf("workers=%d changed the ranking", workers)
+		}
+	}
+	other, err := New(Config{Workers: 2}).Rank(context.Background(), ptrReq(req(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(other.Ranking, base.Ranking) {
+		t.Error("different seeds produced identical rankings (suspicious at n=40, m=12)")
+	}
+}
+
+func ptrReq(r RankRequest) *RankRequest { return &r }
+
+func TestBatchMatchesSingleAndIsDeterministic(t *testing.T) {
+	s := New(Config{Workers: 4})
+	batch := &BatchRequest{}
+	for seed := int64(0); seed < 8; seed++ {
+		batch.Requests = append(batch.Requests, RankRequest{
+			Candidates: pool(25), Samples: ptr(8), Seed: seed,
+		})
+	}
+	first, err := s.RankBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Items) != 8 {
+		t.Fatalf("%d items, want 8", len(first.Items))
+	}
+	// Re-running the identical batch must reproduce it exactly.
+	second, err := s.RankBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("equal-seed batches diverged")
+	}
+	// Each entry must match the single-request path.
+	for i := range batch.Requests {
+		if first.Items[i].Error != "" {
+			t.Fatalf("item %d failed: %s", i, first.Items[i].Error)
+		}
+		single, err := s.Rank(context.Background(), &batch.Requests[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(single.Ranking, first.Items[i].Response.Ranking) {
+			t.Fatalf("item %d: batch ranking differs from single-request ranking", i)
+		}
+	}
+}
+
+// A bad entry fails alone; its neighbors still rank.
+func TestBatchPartialFailure(t *testing.T) {
+	s := New(Config{Workers: 2})
+	batch := &BatchRequest{Requests: []RankRequest{
+		{Candidates: pool(10), Seed: 1},
+		{Candidates: nil, Seed: 2}, // invalid: empty pool
+		{Candidates: pool(10), Algorithm: "nope", Seed: 3},
+		{Candidates: pool(10), Seed: 4},
+	}}
+	resp, err := s.RankBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items[0].Error != "" || resp.Items[0].Response == nil {
+		t.Errorf("item 0 should succeed: %+v", resp.Items[0])
+	}
+	if resp.Items[1].Error == "" {
+		t.Error("item 1 should fail (empty candidates)")
+	}
+	if !strings.Contains(resp.Items[2].Error, "unknown algorithm") {
+		t.Errorf("item 2 error = %q", resp.Items[2].Error)
+	}
+	if resp.Items[3].Error != "" || resp.Items[3].Response == nil {
+		t.Errorf("item 3 should succeed: %+v", resp.Items[3])
+	}
+}
+
+func TestRankCanceledContext(t *testing.T) {
+	s := New(Config{Workers: 1})
+	// Fill the only slot so acquire must block, then cancel.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Rank(ctx, &RankRequest{Candidates: pool(5)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// Requests must not hold worker slots they cannot use: only the
+// mallows-best sampling loop fans out, bounded by its draw count.
+func TestParallelismBound(t *testing.T) {
+	cases := []struct {
+		req  RankRequest
+		want int
+	}{
+		{RankRequest{}, 15},
+		{RankRequest{Algorithm: "mallows-best", Samples: ptr(4)}, 4},
+		{RankRequest{Samples: ptr(1)}, 1},
+		{RankRequest{Algorithm: "score"}, 1},
+		{RankRequest{Algorithm: "ilp"}, 1},
+		{RankRequest{Algorithm: "mallows"}, 1},
+	}
+	for _, tc := range cases {
+		if got := parallelism(&tc.req); got != tc.want {
+			t.Errorf("parallelism(%+v) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+// All algorithms are reachable through the service.
+func TestAllAlgorithms(t *testing.T) {
+	s := New(Config{Workers: 2})
+	for _, algo := range []string{"mallows", "mallows-best", "detconstsort", "ipf", "ilp", "score"} {
+		resp, err := s.Rank(context.Background(), &RankRequest{
+			Candidates: pool(16), Algorithm: algo, Seed: 1,
+		})
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+			continue
+		}
+		if resp.Algorithm != algo {
+			t.Errorf("%s reported as %q", algo, resp.Algorithm)
+		}
+	}
+	// grbinary requires exactly two groups, which pool provides.
+	if _, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(16), Algorithm: "grbinary", Seed: 1}); err != nil {
+		t.Errorf("grbinary: %v", err)
+	}
+}

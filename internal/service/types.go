@@ -1,0 +1,88 @@
+package service
+
+// Candidate is the wire form of one item to rank.
+type Candidate struct {
+	// ID identifies the candidate; must be unique and nonempty.
+	ID string `json:"id"`
+	// Score is the quality/relevance score (higher ranks first).
+	Score float64 `json:"score"`
+	// Group is the protected attribute value; required by the
+	// constraint-based algorithms, ignored by the Mallows algorithms.
+	Group string `json:"group"`
+	// Attrs carries additional attribute values, echoed back unchanged.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// RankRequest asks for one fair ranking. Omitted fields take the
+// library's Config defaults; pointer fields distinguish "omitted" from
+// an explicit zero, which validation rejects where a zero is invalid.
+type RankRequest struct {
+	// Candidates is the pool to rank; must be nonempty with unique,
+	// nonempty IDs.
+	Candidates []Candidate `json:"candidates"`
+	// Algorithm names the post-processor (fairrank.Algorithm values:
+	// "mallows", "mallows-best", "detconstsort", "ipf", "grbinary",
+	// "ilp", "score"). Default "mallows-best".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Central names the Mallows central ranking ("weak", "fair",
+	// "score"). Default "weak".
+	Central string `json:"central,omitempty"`
+	// Criterion names the best-of-m selection criterion ("ndcg", "kt").
+	// Default "ndcg".
+	Criterion string `json:"criterion,omitempty"`
+	// Theta is the Mallows dispersion; must be > 0 when given.
+	// Default 1.
+	Theta *float64 `json:"theta,omitempty"`
+	// Samples is the best-of-m draw count; must be ≥ 1 when given.
+	// Default 15.
+	Samples *int `json:"samples,omitempty"`
+	// Tolerance widens the proportional constraints; must be ≥ 0 when
+	// given. Default 0.1.
+	Tolerance *float64 `json:"tolerance,omitempty"`
+	// WeakK is the weakly fair prefix length. Default min(10, pool size).
+	WeakK int `json:"weak_k,omitempty"`
+	// Sigma is the constraint-noise level of the attribute-aware
+	// algorithms. Default 0.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Seed makes the response deterministic: equal requests with equal
+	// seeds return equal rankings.
+	Seed int64 `json:"seed"`
+}
+
+// RankedCandidate is one position of the response ranking.
+type RankedCandidate struct {
+	// Rank is the 1-based position (1 is the top of the ranking).
+	Rank int `json:"rank"`
+	// ID, Score, Group, and Attrs echo the request candidate.
+	ID    string            `json:"id"`
+	Score float64           `json:"score"`
+	Group string            `json:"group"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// RankResponse is the result of one ranking request.
+type RankResponse struct {
+	// Algorithm is the post-processor that produced the ranking.
+	Algorithm string `json:"algorithm"`
+	// Ranking lists the candidates best first.
+	Ranking []RankedCandidate `json:"ranking"`
+	// NDCG is the quality of the ranking against the score-ideal order.
+	NDCG float64 `json:"ndcg"`
+}
+
+// BatchRequest bundles independent ranking requests to run concurrently.
+type BatchRequest struct {
+	Requests []RankRequest `json:"requests"`
+}
+
+// BatchItem is the outcome of one batch entry: exactly one of Response
+// and Error is set, in the entry's request order.
+type BatchItem struct {
+	Response *RankResponse `json:"response,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// BatchResponse is the result of a batch, item i answering request i.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}

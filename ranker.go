@@ -1,0 +1,354 @@
+package fairrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mallows"
+	"repro/internal/perm"
+	"repro/internal/quality"
+	"repro/internal/rankdist"
+	"repro/internal/rankers"
+)
+
+// Ranker is a reusable fair-ranking engine: construct it once from a
+// Config and call Rank per request. It produces exactly the rankings the
+// package-level Rank would (bit for bit, for equal seeds) while
+// amortizing the work Rank re-derives on every call:
+//
+//   - Mallows insertion-probability tables, cached per (n, θ) — the
+//     e^{−θ} and q^j evaluations behind every displacement draw;
+//   - the DCG discount table behind the NDCG selection criterion, and
+//     the per-request IDCG, computed once instead of once per sample;
+//   - permutation scratch buffers, pooled per candidate-pool size so the
+//     best-of-m sampling loop allocates nothing on the steady state;
+//   - RNGs, pooled and re-seeded per request instead of re-allocated.
+//
+// A Ranker is safe for concurrent use by multiple goroutines; the caches
+// are shared and lock-free on the hot path.
+type Ranker struct {
+	cfg       Config
+	states    sync.Map // sizeKey → *sizeState
+	numStates atomic.Int32
+	rngs      sync.Pool
+}
+
+// maxSizeStates caps the per-(n, θ) cache: a size-state costs O(n)
+// memory, so an adversarial mix of pool sizes must not pin unbounded
+// state. Requests beyond the cap still work through transient,
+// uncached state.
+const maxSizeStates = 64
+
+// sizeKey indexes the amortized per-size state. Theta is part of the key
+// so a future per-request dispersion override can share the cache.
+type sizeKey struct {
+	n     int
+	theta float64
+}
+
+// sizeState is everything reusable across requests of one pool size.
+type sizeState struct {
+	tables    *mallows.Tables
+	scratch   *perm.Pool
+	discounts []float64 // rank r (0-based) → DCG discount of rank r+1
+}
+
+// NewRanker validates cfg and returns a reusable Ranker. Field semantics
+// and defaults are exactly Config's; cfg.Seed is ignored — the seed is
+// per request, passed to Rank.
+func NewRanker(cfg Config) (*Ranker, error) {
+	probe := cfg.withDefaults(1)
+	if _, err := probe.strategy(); err != nil {
+		return nil, err
+	}
+	switch probe.Central {
+	case CentralWeaklyFair, CentralFairDCG, CentralScoreOrder:
+	default:
+		return nil, fmt.Errorf("fairrank: unknown central ranking %q", probe.Central)
+	}
+	if math.IsNaN(probe.Theta) || probe.Theta < 0 {
+		return nil, fmt.Errorf("fairrank: dispersion θ = %v, want ≥ 0", probe.Theta)
+	}
+	if probe.Samples < 1 {
+		return nil, fmt.Errorf("fairrank: samples = %d, want ≥ 1", probe.Samples)
+	}
+	if cfg.Tolerance < 0 {
+		return nil, fmt.Errorf("fairrank: negative tolerance %v", cfg.Tolerance)
+	}
+	r := &Ranker{cfg: cfg}
+	r.rngs.New = func() any { return rand.New(rand.NewSource(0)) }
+	return r, nil
+}
+
+// Config returns the configuration the Ranker was built from.
+func (r *Ranker) Config() Config { return r.cfg }
+
+// Warm pre-builds the per-size caches for the given candidate-pool
+// sizes, moving the one-time table construction off the first request.
+func (r *Ranker) Warm(sizes ...int) error {
+	for _, n := range sizes {
+		cfg := r.cfg.withDefaults(n)
+		if _, err := r.state(n, cfg.Theta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank post-processes candidates into a fair ranking, best first. It is
+// equivalent to Rank(candidates, cfg) with cfg.Seed = seed — identical
+// output for identical input — but reuses the Ranker's caches. The input
+// slice is not modified.
+func (r *Ranker) Rank(candidates []Candidate, seed int64) ([]Candidate, error) {
+	in, err := buildInstance(candidates, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.cfg.withDefaults(len(candidates))
+	rng := r.getRNG(seed)
+	defer r.rngs.Put(rng)
+	var out perm.Perm
+	switch cfg.Algorithm {
+	case AlgorithmMallows, AlgorithmMallowsBest:
+		out, err = r.rankMallows(in, cfg, rng)
+	default:
+		var strat rankers.Ranker
+		strat, err = cfg.strategy()
+		if err != nil {
+			return nil, err
+		}
+		out, err = strat.Rank(in, rng)
+		if err != nil {
+			err = fmt.Errorf("fairrank: %s: %w", strat.Name(), err)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pickCandidates(candidates, out), nil
+}
+
+// RankParallel is Rank with the best-of-m Mallows draws fanned out over
+// up to workers goroutines. The result is deterministic for equal seeds
+// and does not depend on workers — draw i uses its own RNG seeded by a
+// mix of (seed, i), and score ties break toward the lowest i — but the
+// draws consume different random streams than Rank's single sequential
+// stream, so for the same seed RankParallel and Rank return different
+// (identically distributed) rankings. Algorithms without a sampling loop
+// fall back to Rank.
+func (r *Ranker) RankParallel(candidates []Candidate, seed int64, workers int) ([]Candidate, error) {
+	cfg := r.cfg.withDefaults(len(candidates))
+	if cfg.Algorithm != AlgorithmMallowsBest || cfg.Samples == 1 {
+		return r.Rank(candidates, seed)
+	}
+	in, err := buildInstance(candidates, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := r.state(len(in.Initial), cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	score, err := r.criterion(cfg, in, st)
+	if err != nil {
+		return nil, err
+	}
+	model := r.model(in, cfg)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Samples {
+		workers = cfg.Samples
+	}
+	type draw struct {
+		score float64
+		idx   int
+		p     perm.Perm
+		err   error
+	}
+	results := make([]draw, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous index chunks: worker w owns draws [lo, hi).
+		lo := w * cfg.Samples / workers
+		hi := (w + 1) * cfg.Samples / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := r.rngs.Get().(*rand.Rand)
+			defer r.rngs.Put(rng)
+			cur, best := st.scratch.Get(), st.scratch.Get()
+			defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
+			local := draw{idx: -1}
+			for i := lo; i < hi; i++ {
+				rng.Seed(mixSeed(seed, i))
+				cur = model.SampleInto(st.tables, cur, rng)
+				v, err := score(cur)
+				if err != nil {
+					results[w] = draw{err: err}
+					return
+				}
+				if local.idx < 0 || v > local.score {
+					best, cur = cur, best
+					local = draw{score: v, idx: i}
+				}
+			}
+			local.p = best.Clone()
+			results[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	winner := draw{idx: -1}
+	for _, d := range results {
+		if d.err != nil {
+			return nil, d.err
+		}
+		if winner.idx < 0 || d.score > winner.score || (d.score == winner.score && d.idx < winner.idx) {
+			winner = d
+		}
+	}
+	return pickCandidates(candidates, winner.p), nil
+}
+
+// rankMallows is the amortized replica of rankers.Mallows.Rank /
+// core.PostProcess: same draws, same selection, zero steady-state
+// allocation beyond the returned ranking.
+func (r *Ranker) rankMallows(in rankers.Instance, cfg Config, rng *rand.Rand) (perm.Perm, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := r.state(len(in.Initial), cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	model := r.model(in, cfg)
+	cur, best := st.scratch.Get(), st.scratch.Get()
+	defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
+	best = model.SampleInto(st.tables, best, rng)
+	if cfg.Algorithm == AlgorithmMallows {
+		// Algorithm 1 with m = 1: keep the first (only) draw.
+		return best.Clone(), nil
+	}
+	score, err := r.criterion(cfg, in, st)
+	if err != nil {
+		return nil, err
+	}
+	bestScore, err := score(best)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < cfg.Samples; i++ {
+		cur = model.SampleInto(st.tables, cur, rng)
+		v, err := score(cur)
+		if err != nil {
+			return nil, err
+		}
+		if v > bestScore {
+			// Swap rather than copy: cur becomes the kept sample, best
+			// becomes the scratch the next draw overwrites.
+			best, cur = cur, best
+			bestScore = v
+		}
+	}
+	return best.Clone(), nil
+}
+
+// model wraps the instance's central ranking as a Mallows model without
+// cloning it — the instance is request-local and the samplers only read
+// the center.
+func (r *Ranker) model(in rankers.Instance, cfg Config) *mallows.Model {
+	return &mallows.Model{Center: in.Initial, Theta: cfg.Theta}
+}
+
+// criterion returns the sample-selection score function, arithmetic-
+// identical to core's NDCGCriterion/KTCriterion but with the discount
+// table cached and the IDCG hoisted out of the per-sample loop.
+func (r *Ranker) criterion(cfg Config, in rankers.Instance, st *sizeState) (func(perm.Perm) (float64, error), error) {
+	switch cfg.Criterion {
+	case CriterionNDCG:
+		idcg, err := quality.IDCG(in.Initial, in.Scores, len(in.Initial))
+		if err != nil {
+			return nil, err
+		}
+		return func(p perm.Perm) (float64, error) {
+			var dcg float64
+			for rk, item := range p {
+				dcg += in.Scores[item] * st.discounts[rk]
+			}
+			if idcg == 0 {
+				return 1, nil
+			}
+			return dcg / idcg, nil
+		}, nil
+	case CriterionKT:
+		return func(p perm.Perm) (float64, error) {
+			d, err := rankdist.KendallTau(p, in.Initial)
+			if err != nil {
+				return 0, err
+			}
+			return -float64(d), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("fairrank: unknown criterion %q", cfg.Criterion)
+	}
+}
+
+// state returns the cached per-(n, θ) tables, building them on first
+// use. Beyond maxSizeStates distinct keys, new states are built but not
+// retained.
+func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
+	key := sizeKey{n: n, theta: theta}
+	if v, ok := r.states.Load(key); ok {
+		return v.(*sizeState), nil
+	}
+	tab, err := mallows.NewTables(n, theta)
+	if err != nil {
+		return nil, err
+	}
+	disc := make([]float64, n)
+	for rk := range disc {
+		disc[rk] = quality.LogDiscount(rk + 1)
+	}
+	st := &sizeState{tables: tab, scratch: perm.NewPool(n), discounts: disc}
+	if r.numStates.Load() >= maxSizeStates {
+		return st, nil
+	}
+	actual, loaded := r.states.LoadOrStore(key, st)
+	if !loaded {
+		r.numStates.Add(1)
+	}
+	return actual.(*sizeState), nil
+}
+
+// getRNG hands out a pooled RNG re-seeded for the request; equal seeds
+// yield the exact stream of rand.New(rand.NewSource(seed)).
+func (r *Ranker) getRNG(seed int64) *rand.Rand {
+	rng := r.rngs.Get().(*rand.Rand)
+	rng.Seed(seed)
+	return rng
+}
+
+// pickCandidates materializes the ranked candidate slice from a ranking
+// over candidate indices.
+func pickCandidates(candidates []Candidate, out perm.Perm) []Candidate {
+	ranked := make([]Candidate, len(out))
+	for rk, item := range out {
+		ranked[rk] = candidates[item]
+	}
+	return ranked
+}
+
+// mixSeed derives the RNG seed of parallel draw i from the request seed
+// (a splitmix64 step), decorrelating the per-draw streams.
+func mixSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,243 @@
+package fairrank
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// rankerEqualPools returns candidate pools of several sizes for the
+// equivalence tests.
+func rankerEqualPools(t *testing.T) [][]Candidate {
+	t.Helper()
+	return [][]Candidate{
+		germanPool(t, 8),
+		germanPool(t, 40),
+		germanPool(t, 100),
+	}
+}
+
+// The Ranker's contract is bit-for-bit equivalence with the package
+// function: for every algorithm and seed, Ranker.Rank must return
+// exactly what Rank returns.
+func TestRankerMatchesRank(t *testing.T) {
+	configs := []Config{
+		{Algorithm: AlgorithmMallows, Theta: 0.5},
+		{Algorithm: AlgorithmMallowsBest},
+		{Algorithm: AlgorithmMallowsBest, Criterion: CriterionKT, Theta: 2},
+		{Algorithm: AlgorithmMallowsBest, Central: CentralScoreOrder, Samples: 5},
+		{Algorithm: AlgorithmMallowsBest, Central: CentralFairDCG, Criterion: CriterionKT},
+		{Algorithm: AlgorithmScoreSorted},
+		{Algorithm: AlgorithmDetConstSort},
+		{Algorithm: AlgorithmIPF},
+		{Algorithm: AlgorithmILP},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(string(cfg.Algorithm)+"/"+string(cfg.Criterion), func(t *testing.T) {
+			r, err := NewRanker(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pool := range rankerEqualPools(t) {
+				for seed := int64(0); seed < 4; seed++ {
+					cfgSeeded := cfg
+					cfgSeeded.Seed = seed
+					want, err := Rank(pool, cfgSeeded)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Twice per seed: the second call exercises the warm
+					// caches and pooled buffers.
+					for rep := 0; rep < 2; rep++ {
+						got, err := r.Rank(pool, seed)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sameRanking(got, want) {
+							t.Fatalf("n=%d seed=%d rep=%d: Ranker %v, Rank %v",
+								len(pool), seed, rep, ids(got), ids(want))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRankerConcurrentUse(t *testing.T) {
+	r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest, Theta: 1, Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := germanPool(t, 60)
+	want, err := r.Rank(pool, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := r.Rank(pool, 7)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !sameRanking(got, want) {
+				errs <- fmt.Errorf("concurrent result diverged: %v vs %v", ids(got), ids(want))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// RankParallel must be deterministic in the seed and invariant in the
+// worker count — only the seed may change the result.
+func TestRankParallelDeterministic(t *testing.T) {
+	r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest, Theta: 1, Samples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := germanPool(t, 50)
+	base, err := r.RankParallel(pool, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7, 16, 64} {
+		got, err := r.RankParallel(pool, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRanking(got, base) {
+			t.Fatalf("workers=%d changed the result: %v vs %v", workers, ids(got), ids(base))
+		}
+	}
+	other, err := r.RankParallel(pool, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameRanking(other, base) {
+		t.Fatal("different seeds produced identical rankings (suspicious for m=16, n=50)")
+	}
+}
+
+// Non-sampling algorithms fall back to the sequential path, so
+// RankParallel and Rank agree exactly there.
+func TestRankParallelFallback(t *testing.T) {
+	for _, cfg := range []Config{
+		{Algorithm: AlgorithmScoreSorted},
+		{Algorithm: AlgorithmILP},
+		{Algorithm: AlgorithmMallows, Theta: 1},
+	} {
+		r, err := NewRanker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := germanPool(t, 20)
+		want, err := r.Rank(pool, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RankParallel(pool, 9, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRanking(got, want) {
+			t.Fatalf("%s: fallback diverged from Rank", cfg.Algorithm)
+		}
+	}
+}
+
+func TestNewRankerRejectsInvalid(t *testing.T) {
+	cases := []Config{
+		{Algorithm: "frobnicate"},
+		{Algorithm: AlgorithmMallowsBest, Criterion: "splines"},
+		{Central: "midpoint"},
+		{Theta: -1},
+		{Samples: -3},
+		{Tolerance: -0.2},
+	}
+	for _, cfg := range cases {
+		if _, err := NewRanker(cfg); err == nil {
+			t.Errorf("NewRanker(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestRankerWarm(t *testing.T) {
+	r, err := NewRanker(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Warm(10, 100, 1000); err != nil {
+		t.Fatal(err)
+	}
+	pool := germanPool(t, 100)
+	if _, err := r.Rank(pool, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Beyond maxSizeStates distinct pool sizes the cache stops growing but
+// ranking still works (through transient state) and stays equivalent to
+// Rank.
+func TestRankerSizeCacheCap(t *testing.T) {
+	r, err := NewRanker(Config{Theta: 1, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, maxSizeStates)
+	for i := range sizes {
+		sizes[i] = i + 2
+	}
+	if err := r.Warm(sizes...); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.numStates.Load(); got != maxSizeStates {
+		t.Fatalf("cached %d size states, want %d", got, maxSizeStates)
+	}
+	// A fresh size past the cap must rank correctly without growing the
+	// cache.
+	pool := germanPool(t, maxSizeStates+10)
+	want, err := Rank(pool, Config{Theta: 1, Samples: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Rank(pool, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRanking(got, want) {
+		t.Fatal("over-cap ranking diverged from Rank")
+	}
+	if n := r.numStates.Load(); n != maxSizeStates {
+		t.Fatalf("cache grew past the cap: %d", n)
+	}
+}
+
+func sameRanking(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func ids(c []Candidate) []string {
+	out := make([]string, len(c))
+	for i, x := range c {
+		out[i] = x.ID
+	}
+	return out
+}
