@@ -5,12 +5,14 @@
 //
 //	fairrank -in candidates.csv -algorithm mallows-best -theta 1 -samples 15
 //
-// The ranked candidates are written as CSV to stdout (or -out), together
-// with a metrics summary on stderr: NDCG, Kendall tau to the score
-// order, the Two-Sided Infeasible Index and PPfair.
+// The ranked candidates are written as CSV to stdout (or -out; -topk
+// truncates to a shortlist), together with the ranking's self-audit on
+// stderr: NDCG, draws evaluated, Kendall tau to the central ranking,
+// the Two-Sided Infeasible Index and PPfair over the delivered prefix.
 package main
 
 import (
+	"context"
 	"flag"
 	"io"
 	"log"
@@ -27,15 +29,16 @@ func main() {
 	out := flag.String("out", "-", `output CSV ("-" for stdout)`)
 	algo := flag.String("algorithm", string(fairrank.AlgorithmMallowsBest),
 		"one of: mallows, mallows-best, detconstsort, ipf, grbinary, ilp, score")
-	theta := flag.Float64("theta", 1, "Mallows dispersion θ")
+	theta := flag.Float64("theta", 1, "Mallows dispersion θ (0 = uniform noise)")
 	samples := flag.Int("samples", 15, "Mallows best-of-m sample count")
 	sigma := flag.Float64("sigma", 0, "constraint noise σ for the attribute-aware algorithms")
-	tol := flag.Float64("tol", 0.1, "proportional constraint tolerance")
+	tol := flag.Float64("tol", 0.1, "proportional constraint tolerance (0 = exact proportionality)")
 	weakK := flag.Int("k", 0, "weakly fair prefix length (0 = min(10, n))")
 	central := flag.String("central", string(fairrank.CentralWeaklyFair),
 		"Mallows central ranking: weak, fair, or score")
 	criterion := flag.String("criterion", string(fairrank.CriterionNDCG),
 		"Mallows best-of-m selection: ndcg or kt")
+	topK := flag.Int("topk", 0, "truncate the output to the best topk candidates (0 = full ranking)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -43,24 +46,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ranked, err := fairrank.Rank(candidates, fairrank.Config{
+	// The engine-shaping fields go into the Config; everything tunable
+	// per request rides on the Request, where explicit zeros (θ = 0,
+	// tolerance = 0) are real values rather than "use the default".
+	ranker, err := fairrank.NewRanker(fairrank.Config{
 		Algorithm: fairrank.Algorithm(*algo),
 		Central:   fairrank.Central(*central),
-		Criterion: fairrank.Criterion(*criterion),
-		Theta:     *theta,
-		Samples:   *samples,
-		Sigma:     *sigma,
-		Tolerance: *tol,
 		WeakK:     *weakK,
-		Seed:      *seed,
+		Sigma:     *sigma,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := writeTo(*out, ranked, extra); err != nil {
+	req := fairrank.Request{
+		Candidates: candidates,
+		Theta:      theta,
+		Samples:    samples,
+		Criterion:  fairrank.Criterion(*criterion),
+		Tolerance:  tol,
+		Seed:       seed,
+	}
+	if *topK > 0 {
+		req.TopK = topK
+	}
+	res, err := ranker.Do(context.Background(), req)
+	if err != nil {
 		log.Fatal(err)
 	}
-	report(candidates, ranked, *tol)
+	if err := writeTo(*out, res.Ranking, extra); err != nil {
+		log.Fatal(err)
+	}
+	d := res.Diagnostics
+	log.Printf("algorithm=%s theta=%g samples=%d ndcg=%.4f draws=%d kendall_tau_to_central=%d infeasible_index=%d ppfair=%.1f%% (top %d, tol=%g)",
+		d.Algorithm, d.Theta, d.Samples, d.NDCG, d.DrawsEvaluated, d.CentralKendallTau, d.InfeasibleIndex, d.PPfair, d.TopK, d.Tolerance)
 }
 
 func readFrom(path string) ([]fairrank.Candidate, []string, error) {
@@ -87,33 +105,4 @@ func writeTo(path string, ranked []fairrank.Candidate, extra []string) error {
 		w = f
 	}
 	return candidatecsv.Write(w, ranked, extra)
-}
-
-func report(original, ranked []fairrank.Candidate, tol float64) {
-	ndcg, err := fairrank.NDCG(ranked)
-	if err != nil {
-		log.Printf("ndcg: %v", err)
-		return
-	}
-	byScore, err := fairrank.Rank(original, fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted})
-	if err != nil {
-		log.Printf("score order: %v", err)
-		return
-	}
-	kt, err := fairrank.KendallTau(ranked, byScore)
-	if err != nil {
-		log.Printf("kendall tau: %v", err)
-		return
-	}
-	ii, err := fairrank.InfeasibleIndex(ranked, tol)
-	if err != nil {
-		log.Printf("infeasible index: %v", err)
-		return
-	}
-	pp, err := fairrank.PPfair(ranked, tol)
-	if err != nil {
-		log.Printf("ppfair: %v", err)
-		return
-	}
-	log.Printf("ndcg=%.4f kendall_tau_to_score_order=%d infeasible_index=%d ppfair=%.1f%%", ndcg, kt, ii, pp)
 }

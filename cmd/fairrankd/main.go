@@ -4,6 +4,7 @@
 //
 //	POST /v1/rank        rank one candidate pool
 //	POST /v1/rank/batch  rank many independent pools concurrently
+//	GET  /v1/algorithms  introspect algorithms, centrals, criteria, defaults
 //	GET  /healthz        liveness probe
 //
 // Example:
@@ -15,13 +16,24 @@
 //	    {"id": "ava",  "score": 5.2, "group": "f"},
 //	    {"id": "emil", "score": 9.9, "group": "m"}
 //	  ],
-//	  "algorithm": "mallows-best", "theta": 1, "samples": 15, "seed": 42
+//	  "algorithm": "mallows-best", "theta": 1, "samples": 15,
+//	  "top_k": 1, "seed": 42
 //	}'
+//
+// theta, samples, criterion, tolerance, top_k, and seed are per-request
+// overrides; explicit zeros are honored (theta 0 = uniform noise,
+// tolerance 0 = exact proportionality). Every response carries a
+// "diagnostics" block: the resolved parameters plus a self-audit of the
+// ranking (NDCG, draws evaluated, Kendall tau to the central ranking,
+// PPfair and the Two-Sided Infeasible Index over the delivered prefix).
 //
 // Responses are deterministic: equal requests with equal seeds return
 // equal rankings. The server amortizes work across requests through
-// reusable ranking engines (see fairrank.Ranker), so sustained traffic
-// with recurring pool sizes runs allocation-light.
+// reusable ranking engines (see fairrank.Ranker) — requests differing
+// only in per-request overrides share one engine, and the engine's
+// Mallows tables are keyed by (pool size, θ) so mixed dispersions share
+// the cache. Request contexts flow into the sampling loops: client
+// disconnects and deadlines abort in-flight work between draws.
 package main
 
 import (

@@ -26,18 +26,37 @@
 // # Serving
 //
 // Rank rebuilds everything per call. For sustained traffic, construct a
-// Ranker once and reuse it across requests and goroutines:
+// Ranker once and serve Requests through Do:
 //
-//	r, err := fairrank.NewRanker(fairrank.Config{Theta: 1, Samples: 15})
+//	r, err := fairrank.NewRanker(fairrank.Config{})
 //	// per request:
-//	ranked, err := r.Rank(candidates, seed)
+//	theta, seed := 0.5, int64(42)
+//	res, err := r.Do(ctx, fairrank.Request{
+//		Candidates: candidates,
+//		Theta:      &theta, // per-request override; 0 is a real value
+//		Seed:       &seed,
+//	})
+//	// res.Ranking, res.Diagnostics.{NDCG, PPfair, InfeasibleIndex, …}
 //
-// A Ranker returns exactly what Rank would for the same seed while
-// caching Mallows insertion-probability tables per pool size, the DCG
-// discount table, permutation scratch buffers, and pooled RNGs.
-// Ranker.RankParallel additionally fans the best-of-m draws across
-// goroutines, deterministically in the seed. The HTTP serving layer in
-// internal/service and cmd/fairrankd builds on this type.
+// Request carries per-request overrides (Theta, Samples, Criterion,
+// Tolerance, TopK, Seed) as pointer fields, so explicit zeros — θ = 0
+// uniform noise, tolerance = 0 exact proportionality — are expressible;
+// Config's zero-valued fields instead mean "use the default". Result
+// returns the ranking together with diagnostics computed from state the
+// engine already holds: NDCG, draws evaluated, Kendall tau to the
+// central ranking, and a PPfair/InfeasibleIndex fairness audit of the
+// delivered prefix. Do honors context cancellation and deadlines
+// between Mallows draws.
+//
+// A Ranker returns exactly what Rank would for the same resolved
+// parameters and seed while caching Mallows insertion-probability
+// tables per (pool size, θ) — so mixed per-request dispersions share
+// the cache — plus the DCG discount table, permutation scratch
+// buffers, and pooled RNGs. DoParallel additionally fans the best-of-m
+// draws across goroutines, deterministically in the seed. The legacy
+// Ranker.Rank/RankParallel remain as thin wrappers over this path. The
+// HTTP serving layer in internal/service and cmd/fairrankd builds on
+// this type.
 //
 // Alongside the Mallows mechanism the package exposes the evaluated
 // baselines (DetConstSort, ApproxMultiValuedIPF, GrBinaryIPF, and the

@@ -1,6 +1,7 @@
 package fairrank_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -121,6 +122,44 @@ func ExampleNewRanker() {
 	// 3. ava (f)
 	// 4. gus (m)
 	// matches one-shot Rank: true
+}
+
+func ExampleRanker_Do() {
+	// The Request/Result API: per-request overrides ride on the Request
+	// as pointer fields (zero is a real value), and the Result carries a
+	// self-audit computed from state the engine already holds.
+	r, err := fairrank.NewRanker(fairrank.Config{
+		Algorithm: fairrank.AlgorithmMallowsBest,
+		Central:   fairrank.CentralFairDCG,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	theta, tol := 2.0, 0.15
+	topK, seed := 4, int64(42)
+	res, err := r.Do(context.Background(), fairrank.Request{
+		Candidates: examplePool(),
+		Theta:      &theta,
+		Criterion:  fairrank.CriterionKT,
+		Tolerance:  &tol,
+		TopK:       &topK, // return only the shortlist
+		Seed:       &seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range res.Ranking {
+		fmt.Printf("%d. %s (%s)\n", i+1, c.ID, c.Group)
+	}
+	d := res.Diagnostics
+	fmt.Printf("draws=%d ppfair@%d=%.0f%% infeasible=%d\n",
+		d.DrawsEvaluated, d.TopK, d.PPfair, d.InfeasibleIndex)
+	// Output:
+	// 1. emil (m)
+	// 2. finn (m)
+	// 3. ava (f)
+	// 4. gus (m)
+	// draws=15 ppfair@4=100% infeasible=0
 }
 
 func ExampleKendallTau() {

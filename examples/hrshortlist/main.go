@@ -6,7 +6,9 @@
 // The example compares the score order, the attribute-aware baselines
 // (DetConstSort, ApproxMultiValuedIPF, the DCG-optimal ILP ranking), and
 // the attribute-blind Mallows mechanism on shortlist fairness and
-// ranking quality.
+// ranking quality. Each request asks for TopK = 10, so the engine
+// returns exactly the shortlist and its diagnostics audit exactly the
+// delivered prefix — no separate metric pass.
 //
 // Run with:
 //
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,39 +47,52 @@ func main() {
 		}
 	}
 
+	theta1, theta2 := 1.0, 2.0
+	samples := 15
 	configs := []struct {
 		name string
 		cfg  fairrank.Config
+		req  fairrank.Request
 	}{
-		{"score order", fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted}},
-		{"detconstsort", fairrank.Config{Algorithm: fairrank.AlgorithmDetConstSort, Tolerance: tolerance}},
-		{"approx-ipf", fairrank.Config{Algorithm: fairrank.AlgorithmIPF, Tolerance: tolerance}},
-		{"ilp (dcg-optimal)", fairrank.Config{Algorithm: fairrank.AlgorithmILP, Tolerance: tolerance}},
-		{"mallows weak central", fairrank.Config{Algorithm: fairrank.AlgorithmMallows, Theta: 1, Tolerance: tolerance, WeakK: shortlistLen, Seed: 11}},
-		{"mallows fair central", fairrank.Config{Algorithm: fairrank.AlgorithmMallowsBest, Theta: 2, Samples: 15, Central: fairrank.CentralFairDCG, Criterion: fairrank.CriterionKT, Tolerance: tolerance, Seed: 11}},
+		{"score order", fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted}, fairrank.Request{}},
+		{"detconstsort", fairrank.Config{Algorithm: fairrank.AlgorithmDetConstSort}, fairrank.Request{}},
+		{"approx-ipf", fairrank.Config{Algorithm: fairrank.AlgorithmIPF}, fairrank.Request{}},
+		{"ilp (dcg-optimal)", fairrank.Config{Algorithm: fairrank.AlgorithmILP}, fairrank.Request{}},
+		{"mallows weak central",
+			fairrank.Config{Algorithm: fairrank.AlgorithmMallows, WeakK: shortlistLen},
+			fairrank.Request{Theta: &theta1}},
+		{"mallows fair central",
+			fairrank.Config{Algorithm: fairrank.AlgorithmMallowsBest, Central: fairrank.CentralFairDCG},
+			fairrank.Request{Theta: &theta2, Samples: &samples, Criterion: fairrank.CriterionKT}},
 	}
 
+	ctx := context.Background()
+	tol := tolerance
+	topK := shortlistLen
+	seed := int64(11)
 	fmt.Printf("%-20s  %-7s  %-10s  %s\n", "algorithm", "NDCG", "PPfair@10", "women in top-10")
 	for _, c := range configs {
-		ranked, err := fairrank.Rank(pool, c.cfg)
+		ranker, err := fairrank.NewRanker(c.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ndcg, err := fairrank.NDCG(ranked)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pp, err := fairrank.PPfairTopK(ranked, shortlistLen, tolerance)
+		req := c.req
+		req.Candidates = pool
+		req.Tolerance = &tol
+		req.TopK = &topK
+		req.Seed = &seed
+		res, err := ranker.Do(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
 		women := 0
-		for _, cand := range ranked[:shortlistLen] {
+		for _, cand := range res.Ranking {
 			if cand.Group == "women" {
 				women++
 			}
 		}
-		fmt.Printf("%-20s  %-7.4f  %-10.1f  %d/%d\n", c.name, ndcg, pp, women, shortlistLen)
+		d := res.Diagnostics
+		fmt.Printf("%-20s  %-7.4f  %-10.1f  %d/%d\n", c.name, d.NDCG, d.PPfair, women, shortlistLen)
 	}
 	fmt.Println("\nPool is one-third women; a fair shortlist carries ≈3.")
 }

@@ -1,5 +1,6 @@
 // Quickstart: post-process a small candidate ranking with Mallows noise
-// and inspect the fairness/quality trade-off.
+// through the Request/Result API and inspect the fairness/quality
+// trade-off from the per-response diagnostics.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,42 +30,59 @@ func main() {
 		{ID: "hank", Score: 8.8, Group: "m"},
 	}
 
-	byScore, err := fairrank.Rank(candidates, fairrank.Config{Algorithm: fairrank.AlgorithmScoreSorted})
+	// One engine serves every request; θ, samples, criterion, and
+	// tolerance are per-request knobs. The Mallows mechanism itself
+	// never reads the Group attribute.
+	ranker, err := fairrank.NewRanker(fairrank.Config{
+		Algorithm: fairrank.AlgorithmMallowsBest,
+		Central:   fairrank.CentralFairDCG, // noise around the fair optimum
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	show("score order (no fairness)", byScore)
+	ctx := context.Background()
+	theta2, theta0 := 2.0, 0.0
+	samples, tol := 15, 0.15
+	seed := int64(42)
 
-	// Algorithm 1 of the paper: weakly fair central ranking + best of 15
-	// Mallows samples by NDCG. Note that the randomization itself never
-	// reads the Group attribute.
-	fair, err := fairrank.Rank(candidates, fairrank.Config{
-		Algorithm: fairrank.AlgorithmMallowsBest,
-		Theta:     2,
-		Samples:   15,
-		Central:   fairrank.CentralFairDCG, // noise around the fair optimum
-		Criterion: fairrank.CriterionKT,    // stay near that fair central
-		Tolerance: 0.15,
-		Seed:      42,
+	// Algorithm 1 of the paper: best of 15 Mallows samples, staying
+	// near the fair central.
+	fair, err := ranker.Do(ctx, fairrank.Request{
+		Candidates: candidates,
+		Theta:      &theta2,
+		Samples:    &samples,
+		Criterion:  fairrank.CriterionKT,
+		Tolerance:  &tol,
+		Seed:       &seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("mallows best-of-15 around the fair optimum (θ=2)", fair)
+
+	// θ = 0 is a real value in the Request API: pure uniform noise, the
+	// maximum-robustness end of the dispersion trade-off. Same engine,
+	// same amortized caches.
+	uniform, err := ranker.Do(ctx, fairrank.Request{
+		Candidates: candidates,
+		Theta:      &theta0,
+		Samples:    &samples,
+		Criterion:  fairrank.CriterionKT,
+		Tolerance:  &tol,
+		Seed:       &seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("uniform noise (θ=0), best of 15", uniform)
 }
 
-func show(title string, ranked []fairrank.Candidate) {
+func show(title string, res *fairrank.Result) {
 	fmt.Printf("%s:\n", title)
-	for i, c := range ranked {
+	for i, c := range res.Ranking {
 		fmt.Printf("  %d. %-5s score=%.1f group=%s\n", i+1, c.ID, c.Score, c.Group)
 	}
-	ndcg, err := fairrank.NDCG(ranked)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pp, err := fairrank.PPfairTopK(ranked, 4, 0.15)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  NDCG = %.4f   P-fair positions in the top 4 = %.0f%%\n\n", ndcg, pp)
+	d := res.Diagnostics
+	fmt.Printf("  NDCG = %.4f   KT to central = %d   P-fair positions = %.0f%%\n\n",
+		d.NDCG, d.CentralKendallTau, d.PPfair)
 }

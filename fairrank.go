@@ -1,8 +1,9 @@
 package fairrank
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"math"
 	"sort"
 
 	"repro/internal/fairdp"
@@ -91,8 +92,16 @@ const (
 // is zero.
 const DefaultSamples = 15
 
-// Config parameterizes Rank. The zero value is usable: it runs
-// AlgorithmMallowsBest with the defaults below.
+// Config parameterizes Rank and NewRanker. The zero value is usable: it
+// runs AlgorithmMallowsBest with the defaults below.
+//
+// Config carries legacy "zero means default" semantics: a zero Theta,
+// Samples, Tolerance, or WeakK is read as "unset" and replaced by the
+// documented default, so an explicit Theta = 0 (uniform noise) or
+// Tolerance = 0 (exact proportional representation) cannot be expressed
+// here. Those are legitimate settings; express them per request through
+// Request's pointer-valued override fields, where nil means "inherit"
+// and zero is a real value.
 type Config struct {
 	// Algorithm defaults to AlgorithmMallowsBest.
 	Algorithm Algorithm
@@ -105,22 +114,25 @@ type Config struct {
 	// choice when the central is already fair (CentralFairDCG) and the
 	// noise is there for robustness, not quality recovery.
 	Criterion Criterion
-	// Theta is the Mallows dispersion (default 1).
+	// Theta is the Mallows dispersion (default 1). Zero is read as
+	// "unset"; use Request.Theta for an explicit θ = 0 (uniform noise).
 	Theta float64
 	// Samples is the best-of-m draw count (default 15).
 	Samples int
 	// Tolerance widens the proportional representation constraints: each
 	// group's prefix share must stay within its overall share ±
-	// Tolerance. Default 0.1.
+	// Tolerance. Default 0.1. Zero is read as "unset"; use
+	// Request.Tolerance for explicit exact proportionality.
 	Tolerance float64
 	// WeakK is the prefix length of the weakly fair central ranking
 	// (default min(10, number of candidates)).
 	WeakK int
 	// Sigma adds Gaussian noise to the representation constraints of the
 	// attribute-aware algorithms, reproducing the paper's imperfect-
-	// knowledge setting. Default 0.
+	// knowledge setting. Default 0; must not be negative or NaN.
 	Sigma float64
 	// Seed seeds the randomness; runs with equal seeds are identical.
+	// Request.Seed overrides it per request.
 	Seed int64
 }
 
@@ -191,39 +203,31 @@ func (c Config) strategy() (rankers.Ranker, error) {
 // serving many requests with one configuration, construct a Ranker once
 // instead: it produces identical rankings for identical seeds while
 // amortizing the per-call setup.
+//
+// Rank is the legacy one-shot entry point, kept as a thin wrapper over
+// Ranker.Do; it cannot express per-request overrides, cancellation, or
+// return diagnostics. New code should construct a Ranker and call Do.
 func Rank(candidates []Candidate, cfg Config) ([]Candidate, error) {
-	in, err := buildInstance(candidates, cfg)
+	r, err := NewRanker(cfg)
 	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults(len(candidates))
-	ranker, err := cfg.strategy()
+	res, err := r.Do(context.Background(), Request{Candidates: candidates, Seed: &cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out, err := ranker.Rank(in, rng)
-	if err != nil {
-		return nil, fmt.Errorf("fairrank: %s: %w", ranker.Name(), err)
-	}
-	ranked := make([]Candidate, len(out))
-	for r, item := range out {
-		ranked[r] = candidates[item]
-	}
-	return ranked, nil
+	return res.Ranking, nil
 }
 
 // buildInstance validates the candidates and assembles the internal
 // ranking instance: groups from the distinct Group strings (sorted for
 // determinism), proportional constraints widened by cfg.Tolerance, and
-// the weakly fair central ranking.
+// the central ranking. cfg must already be resolved (defaults applied
+// and overrides merged — see Ranker.resolve); buildInstance applies no
+// defaulting of its own so that explicit zero overrides survive.
 func buildInstance(candidates []Candidate, cfg Config) (rankers.Instance, error) {
-	cfg = cfg.withDefaults(len(candidates))
 	if len(candidates) == 0 {
 		return rankers.Instance{}, fmt.Errorf("fairrank: no candidates")
-	}
-	if cfg.Tolerance < 0 {
-		return rankers.Instance{}, fmt.Errorf("fairrank: negative tolerance %v", cfg.Tolerance)
 	}
 	seen := make(map[string]bool, len(candidates))
 	groupIDs := map[string]int{}
@@ -236,6 +240,11 @@ func buildInstance(candidates []Candidate, cfg Config) (rankers.Instance, error)
 			return rankers.Instance{}, fmt.Errorf("fairrank: duplicate candidate ID %q", c.ID)
 		}
 		seen[c.ID] = true
+		if math.IsNaN(c.Score) {
+			// A NaN poisons every comparison downstream: it corrupts the
+			// IDCG and makes the score-ideal sort order unspecified.
+			return rankers.Instance{}, fmt.Errorf("fairrank: candidate %q has NaN score", c.ID)
+		}
 		if c.Group == "" {
 			return rankers.Instance{}, fmt.Errorf("fairrank: candidate %q has empty Group", c.ID)
 		}

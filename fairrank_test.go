@@ -227,6 +227,38 @@ func TestNDCGKendallMetrics(t *testing.T) {
 	}
 }
 
+func TestKendallTauDuplicateIDs(t *testing.T) {
+	a := []Candidate{{ID: "x", Group: "g"}, {ID: "y", Group: "g"}}
+	dup := []Candidate{{ID: "x", Group: "g"}, {ID: "x", Group: "g"}}
+	if _, err := KendallTau(a, dup); err == nil {
+		t.Error("accepted duplicate IDs in the second ranking")
+	}
+	// Duplicates in the first ranking collide on the second's positions.
+	if _, err := KendallTau(dup, a); err == nil {
+		t.Error("accepted duplicate IDs in the first ranking")
+	}
+	// Same sizes, disjoint ID sets.
+	b := []Candidate{{ID: "p", Group: "g"}, {ID: "q", Group: "g"}}
+	if _, err := KendallTau(a, b); err == nil {
+		t.Error("accepted disjoint candidate sets")
+	}
+}
+
+func TestRankRejectsNaNScore(t *testing.T) {
+	cands := pool(6)
+	cands[2].Score = math.NaN()
+	if _, err := Rank(cands, Config{}); err == nil {
+		t.Error("accepted a NaN score")
+	}
+	r, err := NewRanker(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Rank(cands, 1); err == nil {
+		t.Error("Ranker accepted a NaN score")
+	}
+}
+
 func TestPPfairByAttr(t *testing.T) {
 	cands := pool(12)
 	ranked, err := Rank(cands, Config{Algorithm: AlgorithmMallowsBest, Theta: 0.5, Seed: 3})

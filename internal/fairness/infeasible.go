@@ -67,6 +67,22 @@ func (v *Violations) UpperCount() int { return countTrue(v.Upper) }
 // group under- while another over-represented) contributes 2.
 func (v *Violations) TwoSided() int { return v.LowerCount() + v.UpperCount() }
 
+// TwoSidedAt returns the Two-Sided Infeasible Index restricted to the
+// first k prefixes — the shortlist-scoped Definition 3 shared by
+// PPfairAt and the serving layer's per-response audit.
+func (v *Violations) TwoSidedAt(k int) int {
+	ii := 0
+	for ell := 1; ell <= k && ell <= len(v.Lower); ell++ {
+		if v.Lower[ell-1] {
+			ii++
+		}
+		if v.Upper[ell-1] {
+			ii++
+		}
+	}
+	return ii
+}
+
 // UnionCount returns the number of prefixes with any violation. Unlike
 // TwoSided it never exceeds the ranking length.
 func (v *Violations) UnionCount() int {
@@ -126,16 +142,7 @@ func PPfairAt(p perm.Perm, gr *Groups, c *Constraints, k int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ii := 0
-	for ell := 1; ell <= k; ell++ {
-		if v.Lower[ell-1] {
-			ii++
-		}
-		if v.Upper[ell-1] {
-			ii++
-		}
-	}
-	return 100 * (1 - float64(ii)/float64(k)), nil
+	return 100 * (1 - float64(v.TwoSidedAt(k))/float64(k)), nil
 }
 
 // PPfairUnion is the percentage of prefixes with no violation of either

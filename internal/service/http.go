@@ -1,10 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 )
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away (or its deadline passed) before the response was produced.
+const statusClientClosedRequest = 499
 
 // maxBodyBytes bounds request bodies accepted by the HTTP handler.
 const maxBodyBytes = 32 << 20
@@ -13,10 +18,14 @@ const maxBodyBytes = 32 << 20
 //
 //	POST /v1/rank        RankRequest  → RankResponse
 //	POST /v1/rank/batch  BatchRequest → BatchResponse
+//	GET  /v1/algorithms  CatalogResponse (introspection)
 //	GET  /healthz        liveness probe
 //
 // Request-caused failures (ErrInvalid, malformed JSON) return 400 with a
-// JSON {"error": "..."} body; anything else returns 500.
+// JSON {"error": "..."} body; a cancelled or timed-out request returns
+// 499 (client closed request); anything else returns 500. Each request's
+// context flows into the sampling loops, so client disconnects abort
+// in-flight ranking work.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", func(w http.ResponseWriter, r *http.Request) {
@@ -43,6 +52,9 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Catalog())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -60,8 +72,11 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, ErrInvalid) {
+	switch {
+	case errors.Is(err, ErrInvalid):
 		status = http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = statusClientClosedRequest
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -94,6 +94,54 @@ func TestHTTPBatchEndToEnd(t *testing.T) {
 	}
 }
 
+// The new wire fields round-trip: top_k truncates, explicit zero theta
+// survives, and the diagnostics block comes back populated.
+func TestHTTPOverridesAndDiagnostics(t *testing.T) {
+	srv := newTestServer(t)
+	req := RankRequest{Candidates: pool(20), Theta: ptr(0.0), TopK: ptr(6), Samples: ptr(5), Seed: 7}
+	resp, body := postJSON(t, srv.URL+"/v1/rank", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out RankResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ranking) != 6 {
+		t.Fatalf("top_k=6 returned %d entries", len(out.Ranking))
+	}
+	d := out.Diagnostics
+	if d.Theta != 0 || d.Samples != 5 || d.TopK != 6 || d.Seed != 7 {
+		t.Errorf("diagnostics did not echo the overrides: %+v", d)
+	}
+	if d.DrawsEvaluated != 5 || d.Algorithm != "mallows-best" {
+		t.Errorf("diagnostics incomplete: %+v", d)
+	}
+}
+
+// GET /v1/algorithms exposes the catalog for client introspection.
+func TestHTTPAlgorithms(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cat CatalogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Algorithms) != 7 {
+		t.Errorf("%d algorithms listed, want 7", len(cat.Algorithms))
+	}
+	if cat.Defaults.Algorithm != "mallows-best" || cat.Defaults.Samples != 15 {
+		t.Errorf("defaults = %+v", cat.Defaults)
+	}
+}
+
 func TestHTTPHealthz(t *testing.T) {
 	srv := newTestServer(t)
 	resp, err := http.Get(srv.URL + "/healthz")

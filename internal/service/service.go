@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -55,9 +56,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// maxCachedRankers caps the configuration → Ranker cache; requests with
-// configurations beyond the cap still work through one-shot Rankers.
+// maxCachedRankers caps the configuration → Ranker cache. At the cap an
+// arbitrary entry is evicted rather than refusing the new key, so a
+// burst of junk base configurations (e.g. many distinct sigmas) cannot
+// permanently lock legitimate traffic out of engine reuse.
 const maxCachedRankers = 256
+
+// rankerKey identifies the reusable engine a request needs. Only the
+// fields that shape the engine's construction belong here: theta,
+// samples, criterion, tolerance, top-k, and seed travel per request
+// (fairrank.Request), so requests that differ only in those share one
+// engine — and, through its (n, θ)-keyed table cache, share the
+// amortized Mallows state across dispersions.
+type rankerKey struct {
+	algorithm fairrank.Algorithm
+	central   fairrank.Central
+	weakK     int
+	sigma     float64
+}
 
 // Service ranks requests. Construct with New; safe for concurrent use.
 type Service struct {
@@ -65,7 +81,7 @@ type Service struct {
 	sem chan struct{} // one slot per concurrently sampling goroutine
 
 	mu      sync.Mutex
-	rankers map[fairrank.Config]*fairrank.Ranker
+	rankers map[rankerKey]*fairrank.Ranker
 }
 
 // New returns a Service with the given configuration.
@@ -74,7 +90,7 @@ func New(cfg Config) *Service {
 	return &Service{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.Workers),
-		rankers: make(map[fairrank.Config]*fairrank.Ranker),
+		rankers: make(map[rankerKey]*fairrank.Ranker),
 	}
 }
 
@@ -103,9 +119,12 @@ func (s *Service) RankBatch(ctx context.Context, batch *BatchRequest) (*BatchRes
 		go func(i int) {
 			defer wg.Done()
 			// One pool slot per entry: entries parallelize across the
-			// pool, draws within an entry stay sequential. RankParallel
+			// pool, draws within an entry stay sequential. DoParallel
 			// results are worker-invariant, so an entry ranks identically
-			// here and as a single request.
+			// here and as a single request. ctx flows through to the
+			// sampling loop, so cancelling the batch aborts every entry
+			// promptly — queued entries at admission, running entries
+			// between draws.
 			resp, err := s.rank(ctx, &batch.Requests[i], 1)
 			if err != nil {
 				items[i] = BatchItem{Error: err.Error()}
@@ -115,14 +134,25 @@ func (s *Service) RankBatch(ctx context.Context, batch *BatchRequest) (*BatchRes
 		}(i)
 	}
 	wg.Wait()
+	// A cancelled batch is a transport-level failure of the whole call,
+	// not N independent entry failures: report it as such so the HTTP
+	// layer maps it to 499 rather than 200-with-error-items.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &BatchResponse{Items: items}, nil
 }
 
 func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*RankResponse, error) {
+	// An already-cancelled request (a disconnected client, an expired
+	// deadline, an aborted batch) does no work at all.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.validate(req); err != nil {
 		return nil, err
 	}
-	ranker, err := s.ranker(req.config())
+	ranker, err := s.ranker(req.key(), req.baseConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -140,25 +170,48 @@ func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*
 	for i, c := range req.Candidates {
 		cands[i] = fairrank.Candidate{ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
 	}
-	ranked, err := ranker.RankParallel(cands, req.Seed, workers)
+	res, err := ranker.DoParallel(ctx, fairrank.Request{
+		Candidates: cands,
+		Theta:      req.Theta,
+		Samples:    req.Samples,
+		Criterion:  fairrank.Criterion(req.Criterion),
+		Tolerance:  req.Tolerance,
+		TopK:       req.TopK,
+		Seed:       &req.Seed,
+	}, workers)
 	if err != nil {
-		// Ranking failures are input-caused (e.g. a constraint algorithm
-		// over groups too small for the tolerance); report them as such.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Cancellation is the caller's doing, not a bad request;
+			// keep it distinguishable from ErrInvalid.
+			return nil, ctxErr
+		}
+		// Remaining ranking failures are input-caused (e.g. a constraint
+		// algorithm over groups too small for the tolerance, an unknown
+		// criterion name); report them as such.
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	ndcg, err := fairrank.NDCG(ranked)
-	if err != nil {
-		return nil, err
-	}
+	d := res.Diagnostics
 	resp := &RankResponse{
-		Algorithm: string(ranker.Config().Algorithm),
-		Ranking:   make([]RankedCandidate, len(ranked)),
-		NDCG:      ndcg,
+		Algorithm: string(d.Algorithm),
+		Ranking:   make([]RankedCandidate, len(res.Ranking)),
+		NDCG:      d.NDCG,
+		Diagnostics: Diagnostics{
+			Algorithm:         string(d.Algorithm),
+			Central:           string(d.Central),
+			Criterion:         string(d.Criterion),
+			Theta:             d.Theta,
+			Samples:           d.Samples,
+			Tolerance:         d.Tolerance,
+			Seed:              d.Seed,
+			TopK:              d.TopK,
+			NDCG:              d.NDCG,
+			DrawsEvaluated:    d.DrawsEvaluated,
+			CentralKendallTau: d.CentralKendallTau,
+			PPfair:            d.PPfair,
+			InfeasibleIndex:   d.InfeasibleIndex,
+		},
 	}
-	if resp.Algorithm == "" {
-		resp.Algorithm = string(fairrank.AlgorithmMallowsBest)
-	}
-	for i, c := range ranked {
+	for i, c := range res.Ranking {
 		resp.Ranking[i] = RankedCandidate{Rank: i + 1, ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
 	}
 	return resp, nil
@@ -182,8 +235,8 @@ func (s *Service) validate(req *RankRequest) error {
 		}
 		seen[c.ID] = true
 	}
-	if req.Theta != nil && !(*req.Theta > 0) {
-		return invalidf("theta = %v, want > 0", *req.Theta)
+	if req.Theta != nil && !(*req.Theta >= 0) {
+		return invalidf("theta = %v, want ≥ 0", *req.Theta)
 	}
 	if req.Samples != nil && *req.Samples < 1 {
 		return invalidf("samples = %d, want ≥ 1", *req.Samples)
@@ -191,8 +244,14 @@ func (s *Service) validate(req *RankRequest) error {
 	if req.Tolerance != nil && !(*req.Tolerance >= 0) {
 		return invalidf("tolerance = %v, want ≥ 0", *req.Tolerance)
 	}
+	if req.TopK != nil && *req.TopK < 1 {
+		return invalidf("top_k = %d, want ≥ 1", *req.TopK)
+	}
 	if req.WeakK < 0 {
 		return invalidf("weak_k = %d, want ≥ 0", req.WeakK)
+	}
+	if !(req.Sigma >= 0) || math.IsInf(req.Sigma, 0) {
+		return invalidf("sigma = %v, want finite ≥ 0", req.Sigma)
 	}
 	return nil
 }
@@ -210,44 +269,49 @@ func parallelism(req *RankRequest) int {
 	return fairrank.DefaultSamples
 }
 
-// config maps the wire request onto the library configuration; omitted
-// fields stay zero and take the library defaults.
-func (req *RankRequest) config() fairrank.Config {
-	cfg := fairrank.Config{
+// key identifies the engine the request needs; see rankerKey for why
+// only these fields participate.
+func (req *RankRequest) key() rankerKey {
+	return rankerKey{
+		algorithm: fairrank.Algorithm(req.Algorithm),
+		central:   fairrank.Central(req.Central),
+		weakK:     req.WeakK,
+		sigma:     req.Sigma,
+	}
+}
+
+// baseConfig maps the engine-shaping wire fields onto the library
+// configuration; everything else rides on the per-request
+// fairrank.Request.
+func (req *RankRequest) baseConfig() fairrank.Config {
+	return fairrank.Config{
 		Algorithm: fairrank.Algorithm(req.Algorithm),
 		Central:   fairrank.Central(req.Central),
-		Criterion: fairrank.Criterion(req.Criterion),
 		WeakK:     req.WeakK,
 		Sigma:     req.Sigma,
 	}
-	if req.Theta != nil {
-		cfg.Theta = *req.Theta
-	}
-	if req.Samples != nil {
-		cfg.Samples = *req.Samples
-	}
-	if req.Tolerance != nil {
-		cfg.Tolerance = *req.Tolerance
-	}
-	return cfg
 }
 
-// ranker returns the cached reusable engine for cfg, building and
-// caching it on first use. Unknown algorithm/central/criterion names
-// surface here as ErrInvalid.
-func (s *Service) ranker(cfg fairrank.Config) (*fairrank.Ranker, error) {
+// ranker returns the cached reusable engine for the key, building and
+// caching it on first use. Unknown algorithm/central names surface here
+// as ErrInvalid.
+func (s *Service) ranker(key rankerKey, cfg fairrank.Config) (*fairrank.Ranker, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r, ok := s.rankers[cfg]; ok {
+	if r, ok := s.rankers[key]; ok {
 		return r, nil
 	}
 	r, err := fairrank.NewRanker(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	if len(s.rankers) < maxCachedRankers {
-		s.rankers[cfg] = r
+	if len(s.rankers) >= maxCachedRankers {
+		for k := range s.rankers {
+			delete(s.rankers, k) // evict one arbitrary entry
+			break
+		}
 	}
+	s.rankers[key] = r
 	return r, nil
 }
 
@@ -278,5 +342,81 @@ func (s *Service) acquireUpTo(ctx context.Context, max int) (int, error) {
 func (s *Service) release(n int) {
 	for i := 0; i < n; i++ {
 		<-s.sem
+	}
+}
+
+// Catalog describes the rankable surface — every algorithm, central
+// ranking, and selection criterion the service accepts, with the value
+// each omitted field resolves to. GET /v1/algorithms serves it so
+// clients can introspect instead of hardcoding strings.
+func Catalog() *CatalogResponse {
+	mallowsTunables := []string{"central", "theta", "tolerance", "weak_k", "seed"}
+	bestTunables := []string{"central", "criterion", "theta", "samples", "tolerance", "weak_k", "seed"}
+	constraintTunables := []string{"tolerance", "sigma", "seed"}
+	return &CatalogResponse{
+		Algorithms: []AlgorithmInfo{
+			{
+				Name:        string(fairrank.AlgorithmMallowsBest),
+				Description: "paper Algorithm 1: best of m Mallows draws around the central ranking",
+				ReadsGroup:  false,
+				Tunables:    bestTunables,
+			},
+			{
+				Name:        string(fairrank.AlgorithmMallows),
+				Description: "paper Algorithm 1 with m = 1 (a single Mallows draw)",
+				ReadsGroup:  false,
+				Tunables:    mallowsTunables,
+			},
+			{
+				Name:        string(fairrank.AlgorithmILP),
+				Description: "DCG-optimal (α,β)-fair ranking, paper §IV-B, solved exactly",
+				ReadsGroup:  true,
+				Tunables:    constraintTunables,
+			},
+			{
+				Name:        string(fairrank.AlgorithmDetConstSort),
+				Description: "Geyik et al., KDD'19 DetConstSort",
+				ReadsGroup:  true,
+				Tunables:    constraintTunables,
+			},
+			{
+				Name:        string(fairrank.AlgorithmIPF),
+				Description: "Wei et al., SIGMOD'22 ApproxMultiValuedIPF (footrule-optimal)",
+				ReadsGroup:  true,
+				Tunables:    constraintTunables,
+			},
+			{
+				Name:        string(fairrank.AlgorithmGrBinary),
+				Description: "Wei et al., SIGMOD'22 GrBinaryIPF (Kendall-tau-optimal, exactly two groups)",
+				ReadsGroup:  true,
+				Tunables:    []string{"tolerance", "seed"},
+			},
+			{
+				Name:        string(fairrank.AlgorithmScoreSorted),
+				Description: "sort by score (no-fairness baseline)",
+				ReadsGroup:  false,
+				Tunables:    nil,
+			},
+		},
+		Centrals: []OptionInfo{
+			{Name: string(fairrank.CentralWeaklyFair), Description: "score order with the top-weak_k prefix adjusted to weak k-fairness"},
+			{Name: string(fairrank.CentralFairDCG), Description: "the DCG-optimal (α,β)-fair ranking (§IV-B program)"},
+			{Name: string(fairrank.CentralScoreOrder), Description: "raw score order; all fairness comes from the noise"},
+		},
+		Criteria: []OptionInfo{
+			{Name: string(fairrank.CriterionNDCG), Description: "keep the sample with the highest NDCG"},
+			{Name: string(fairrank.CriterionKT), Description: "keep the sample closest to the central ranking in Kendall tau"},
+		},
+		Defaults: DefaultsInfo{
+			Algorithm: string(fairrank.AlgorithmMallowsBest),
+			Central:   string(fairrank.CentralWeaklyFair),
+			Criterion: string(fairrank.CriterionNDCG),
+			Theta:     1,
+			Samples:   fairrank.DefaultSamples,
+			Tolerance: 0.1,
+			WeakK:     "min(10, n)",
+			Sigma:     0,
+			TopK:      "full ranking",
+		},
 	}
 }

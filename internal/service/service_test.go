@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -36,11 +37,16 @@ func TestValidationErrors(t *testing.T) {
 		{"duplicate ids", RankRequest{Candidates: []Candidate{
 			{ID: "x", Score: 2, Group: "a"}, {ID: "x", Score: 1, Group: "b"},
 		}}, `duplicate candidate id "x"`},
-		{"zero theta", RankRequest{Candidates: pool(4), Theta: ptr(0.0)}, "theta = 0"},
 		{"negative theta", RankRequest{Candidates: pool(4), Theta: ptr(-1.5)}, "theta = -1.5"},
+		{"NaN theta", RankRequest{Candidates: pool(4), Theta: ptr(math.NaN())}, "theta = NaN"},
 		{"zero samples", RankRequest{Candidates: pool(4), Samples: ptr(0)}, "samples = 0"},
 		{"negative tolerance", RankRequest{Candidates: pool(4), Tolerance: ptr(-0.1)}, "tolerance = -0.1"},
+		{"zero top_k", RankRequest{Candidates: pool(4), TopK: ptr(0)}, "top_k = 0"},
 		{"negative weak_k", RankRequest{Candidates: pool(4), WeakK: -2}, "weak_k = -2"},
+		{"negative sigma", RankRequest{Candidates: pool(4), Sigma: -1}, "sigma = -1"},
+		{"NaN score", RankRequest{Candidates: []Candidate{
+			{ID: "x", Score: math.NaN(), Group: "a"}, {ID: "y", Score: 1, Group: "b"},
+		}}, "NaN score"},
 		{"unknown algorithm", RankRequest{Candidates: pool(4), Algorithm: "quicksort"}, `unknown algorithm "quicksort"`},
 		{"unknown central", RankRequest{Candidates: pool(4), Central: "median"}, `unknown central ranking "median"`},
 		{"unknown criterion", RankRequest{Candidates: pool(4), Criterion: "vibes"}, `unknown criterion "vibes"`},
@@ -232,6 +238,187 @@ func TestParallelismBound(t *testing.T) {
 		if got := parallelism(&tc.req); got != tc.want {
 			t.Errorf("parallelism(%+v) = %d, want %d", tc.req, got, tc.want)
 		}
+	}
+}
+
+// θ = 0 (uniform noise) and tolerance = 0 (exact proportionality) are
+// real values on the wire, not "unset": the response must echo them in
+// the diagnostics rather than silently substituting the defaults.
+func TestExplicitZeroOverrides(t *testing.T) {
+	s := New(Config{Workers: 2})
+	resp, err := s.Rank(context.Background(), &RankRequest{
+		Candidates: pool(12), Theta: ptr(0.0), Tolerance: ptr(0.0), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Diagnostics.Theta != 0 {
+		t.Errorf("theta = 0 resolved to %v", resp.Diagnostics.Theta)
+	}
+	if resp.Diagnostics.Tolerance != 0 {
+		t.Errorf("tolerance = 0 resolved to %v", resp.Diagnostics.Tolerance)
+	}
+	// Omitted fields still take the documented defaults.
+	dflt, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(12), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dflt.Diagnostics.Theta != 1 || dflt.Diagnostics.Tolerance != 0.1 {
+		t.Errorf("defaults resolved to θ=%v tol=%v", dflt.Diagnostics.Theta, dflt.Diagnostics.Tolerance)
+	}
+}
+
+// Requests that differ only in per-request overrides share one cached
+// engine; the overrides must still take full effect per request.
+func TestPerRequestOverridesShareEngine(t *testing.T) {
+	s := New(Config{Workers: 2})
+	thetas := []float64{0.25, 1, 4}
+	for _, th := range thetas {
+		resp, err := s.Rank(context.Background(), &RankRequest{
+			Candidates: pool(30), Theta: ptr(th), Samples: ptr(6), Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("theta %v: %v", th, err)
+		}
+		if resp.Diagnostics.Theta != th {
+			t.Errorf("theta %v reported as %v", th, resp.Diagnostics.Theta)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.rankers)
+	s.mu.Unlock()
+	if n != 1 {
+		t.Errorf("%d cached engines for one base configuration, want 1", n)
+	}
+}
+
+// Saturating the engine cache with junk base configurations must not
+// lock later configurations out of caching: the cache stays bounded and
+// keeps admitting new keys by evicting old ones.
+func TestRankerCacheEvictsAtCap(t *testing.T) {
+	s := New(Config{Workers: 1})
+	for i := 0; i <= maxCachedRankers; i++ {
+		req := RankRequest{Sigma: float64(i) * 1e-9, Algorithm: "detconstsort"}
+		if _, err := s.ranker(req.key(), req.baseConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.rankers)
+	_, lastCached := s.rankers[rankerKey{algorithm: "detconstsort", sigma: float64(maxCachedRankers) * 1e-9}]
+	s.mu.Unlock()
+	if n != maxCachedRankers {
+		t.Errorf("cache holds %d engines, want %d", n, maxCachedRankers)
+	}
+	if !lastCached {
+		t.Error("key past the cap was not admitted to the cache")
+	}
+}
+
+// top_k truncates the response ranking to a prefix of the full ranking
+// and scopes the audit to it.
+func TestTopK(t *testing.T) {
+	s := New(Config{Workers: 2})
+	full, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), TopK: ptr(5), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Ranking) != 5 || top.Diagnostics.TopK != 5 {
+		t.Fatalf("top_k=5 returned %d entries (diag %d)", len(top.Ranking), top.Diagnostics.TopK)
+	}
+	if !reflect.DeepEqual(top.Ranking, full.Ranking[:5]) {
+		t.Error("top_k ranking is not a prefix of the full ranking")
+	}
+	// Oversized top_k clamps to the pool.
+	big, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), TopK: ptr(100), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Ranking) != 20 {
+		t.Errorf("top_k=100 over 20 candidates returned %d entries", len(big.Ranking))
+	}
+}
+
+// The diagnostics block is internally consistent and mirrors the
+// top-level fields kept for older clients.
+func TestDiagnosticsShape(t *testing.T) {
+	s := New(Config{Workers: 2})
+	resp, err := s.Rank(context.Background(), &RankRequest{
+		Candidates: pool(16), Samples: ptr(7), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := resp.Diagnostics
+	if d.Algorithm != resp.Algorithm || d.NDCG != resp.NDCG {
+		t.Errorf("diagnostics disagree with top-level fields: %+v", d)
+	}
+	if d.DrawsEvaluated != 7 {
+		t.Errorf("draws_evaluated = %d, want 7", d.DrawsEvaluated)
+	}
+	if d.Seed != 2 || d.TopK != 16 || d.Central != "weak" || d.Criterion != "ndcg" {
+		t.Errorf("resolved parameters wrong: %+v", d)
+	}
+	want := 100 * (1 - float64(d.InfeasibleIndex)/float64(d.TopK))
+	if math.Abs(d.PPfair-want) > 1e-9 {
+		t.Errorf("ppfair %v inconsistent with infeasible index %d", d.PPfair, d.InfeasibleIndex)
+	}
+	if d.CentralKendallTau < 0 {
+		t.Errorf("central KT = %d", d.CentralKendallTau)
+	}
+}
+
+// A cancelled context aborts every batch entry promptly and surfaces as
+// a batch-level cancellation error (the HTTP layer maps it to 499), not
+// as a bad request and not as a 200 full of error items.
+func TestBatchCancelledContext(t *testing.T) {
+	s := New(Config{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	batch := &BatchRequest{}
+	for seed := int64(0); seed < 6; seed++ {
+		batch.Requests = append(batch.Requests, RankRequest{Candidates: pool(30), Seed: seed})
+	}
+	if _, err := s.RankBatch(ctx, batch); !errors.Is(err, context.Canceled) {
+		t.Errorf("batch: got %v, want context.Canceled", err)
+	} else if errors.Is(err, ErrInvalid) {
+		t.Error("batch cancellation misclassified as ErrInvalid")
+	}
+	if _, err := s.Rank(ctx, &batch.Requests[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("single rank: got %v, want context.Canceled", err)
+	} else if errors.Is(err, ErrInvalid) {
+		t.Error("cancellation misclassified as ErrInvalid")
+	}
+}
+
+// The catalog names every algorithm the serving path accepts, with
+// resolvable defaults.
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	names := map[string]bool{}
+	for _, a := range cat.Algorithms {
+		names[a.Name] = true
+	}
+	s := New(Config{Workers: 2})
+	for name := range names {
+		if _, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(16), Algorithm: name, Seed: 1}); err != nil {
+			t.Errorf("catalog algorithm %q not rankable: %v", name, err)
+		}
+	}
+	for _, want := range []string{"mallows", "mallows-best", "detconstsort", "ipf", "grbinary", "ilp", "score"} {
+		if !names[want] {
+			t.Errorf("catalog missing algorithm %q", want)
+		}
+	}
+	if cat.Defaults.Theta != 1 || cat.Defaults.Samples != 15 || cat.Defaults.Tolerance != 0.1 {
+		t.Errorf("catalog defaults %+v disagree with the library", cat.Defaults)
+	}
+	if len(cat.Centrals) != 3 || len(cat.Criteria) != 2 {
+		t.Errorf("catalog lists %d centrals, %d criteria", len(cat.Centrals), len(cat.Criteria))
 	}
 }
 

@@ -30,15 +30,20 @@ type RankRequest struct {
 	// Criterion names the best-of-m selection criterion ("ndcg", "kt").
 	// Default "ndcg".
 	Criterion string `json:"criterion,omitempty"`
-	// Theta is the Mallows dispersion; must be > 0 when given.
-	// Default 1.
+	// Theta is the Mallows dispersion; must be ≥ 0 when given (0 draws
+	// uniformly random permutations). Default 1.
 	Theta *float64 `json:"theta,omitempty"`
 	// Samples is the best-of-m draw count; must be ≥ 1 when given.
 	// Default 15.
 	Samples *int `json:"samples,omitempty"`
 	// Tolerance widens the proportional constraints; must be ≥ 0 when
-	// given. Default 0.1.
+	// given (0 demands exact proportionality). Default 0.1.
 	Tolerance *float64 `json:"tolerance,omitempty"`
+	// TopK truncates the response ranking to the best TopK candidates
+	// and scopes the fairness audit to those prefixes; must be ≥ 1 when
+	// given (clamped to the pool size). Omitted returns the full
+	// ranking.
+	TopK *int `json:"top_k,omitempty"`
 	// WeakK is the weakly fair prefix length. Default min(10, pool size).
 	WeakK int `json:"weak_k,omitempty"`
 	// Sigma is the constraint-noise level of the attribute-aware
@@ -64,10 +69,47 @@ type RankedCandidate struct {
 type RankResponse struct {
 	// Algorithm is the post-processor that produced the ranking.
 	Algorithm string `json:"algorithm"`
-	// Ranking lists the candidates best first.
+	// Ranking lists the candidates best first, truncated to the
+	// request's top_k when set.
 	Ranking []RankedCandidate `json:"ranking"`
-	// NDCG is the quality of the ranking against the score-ideal order.
+	// NDCG is the full-ranking quality against the score-ideal order
+	// (kept at the top level for pre-diagnostics clients).
 	NDCG float64 `json:"ndcg"`
+	// Diagnostics reports the resolved parameters and the self-audit of
+	// the ranking.
+	Diagnostics Diagnostics `json:"diagnostics"`
+}
+
+// Diagnostics is the wire form of fairrank.Diagnostics: the parameters
+// the request actually ran with after override resolution, and
+// quality/fairness measurements of the returned ranking computed from
+// state the engine already held.
+type Diagnostics struct {
+	// Algorithm, Central, Criterion, Theta, Samples, Tolerance, and
+	// Seed echo the resolved request parameters.
+	Algorithm string  `json:"algorithm"`
+	Central   string  `json:"central"`
+	Criterion string  `json:"criterion"`
+	Theta     float64 `json:"theta"`
+	Samples   int     `json:"samples"`
+	Tolerance float64 `json:"tolerance"`
+	Seed      int64   `json:"seed"`
+	// TopK is the length of the returned ranking.
+	TopK int `json:"top_k"`
+	// NDCG is the full-ranking NDCG of the chosen ranking.
+	NDCG float64 `json:"ndcg"`
+	// DrawsEvaluated counts Mallows samples drawn and scored (0 for the
+	// deterministic algorithms).
+	DrawsEvaluated int `json:"draws_evaluated"`
+	// CentralKendallTau is the Kendall tau distance between the chosen
+	// ranking and the central ranking the noise was centred on.
+	CentralKendallTau int64 `json:"central_kendall_tau"`
+	// PPfair is the percentage of P-fair positions (paper Definition 4)
+	// of the first TopK prefixes under the resolved tolerance.
+	PPfair float64 `json:"ppfair"`
+	// InfeasibleIndex is the Two-Sided Infeasible Index (Definition 3)
+	// over the first TopK prefixes.
+	InfeasibleIndex int `json:"infeasible_index"`
 }
 
 // BatchRequest bundles independent ranking requests to run concurrently.
@@ -85,4 +127,50 @@ type BatchItem struct {
 // BatchResponse is the result of a batch, item i answering request i.
 type BatchResponse struct {
 	Items []BatchItem `json:"items"`
+}
+
+// CatalogResponse answers GET /v1/algorithms: the supported algorithms,
+// central rankings, and selection criteria with their defaults, so
+// clients can introspect the rankable surface instead of hardcoding
+// strings.
+type CatalogResponse struct {
+	Algorithms []AlgorithmInfo `json:"algorithms"`
+	Centrals   []OptionInfo    `json:"centrals"`
+	Criteria   []OptionInfo    `json:"criteria"`
+	Defaults   DefaultsInfo    `json:"defaults"`
+}
+
+// AlgorithmInfo describes one post-processing algorithm.
+type AlgorithmInfo struct {
+	// Name is the wire value for the "algorithm" field.
+	Name string `json:"name"`
+	// Description summarizes the method and its source.
+	Description string `json:"description"`
+	// ReadsGroup reports whether the algorithm consumes the protected
+	// attribute (the Mallows mechanisms are attribute-blind).
+	ReadsGroup bool `json:"reads_group"`
+	// Tunables lists the request fields the algorithm responds to.
+	Tunables []string `json:"tunables"`
+}
+
+// OptionInfo describes one named option value (a central ranking or a
+// selection criterion).
+type OptionInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// DefaultsInfo lists the value each omitted request field resolves to.
+type DefaultsInfo struct {
+	Algorithm string  `json:"algorithm"`
+	Central   string  `json:"central"`
+	Criterion string  `json:"criterion"`
+	Theta     float64 `json:"theta"`
+	Samples   int     `json:"samples"`
+	Tolerance float64 `json:"tolerance"`
+	// WeakK is "min(10, n)" — it depends on the pool size.
+	WeakK string  `json:"weak_k"`
+	Sigma float64 `json:"sigma"`
+	// TopK reports that omitting top_k returns the full ranking.
+	TopK string `json:"top_k"`
 }

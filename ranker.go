@@ -1,6 +1,7 @@
 package fairrank
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,9 +16,9 @@ import (
 )
 
 // Ranker is a reusable fair-ranking engine: construct it once from a
-// Config and call Rank per request. It produces exactly the rankings the
-// package-level Rank would (bit for bit, for equal seeds) while
-// amortizing the work Rank re-derives on every call:
+// Config and call Do (or the legacy Rank) per request. It produces
+// exactly the rankings the package-level Rank would (bit for bit, for
+// equal seeds) while amortizing the work Rank re-derives on every call:
 //
 //   - Mallows insertion-probability tables, cached per (n, θ) — the
 //     e^{−θ} and q^j evaluations behind every displacement draw;
@@ -31,15 +32,18 @@ import (
 // are shared and lock-free on the hot path.
 type Ranker struct {
 	cfg       Config
-	states    sync.Map // sizeKey → *sizeState
+	states    sync.Map   // sizeKey → *sizeState
+	stateMu   sync.Mutex // serializes insert/evict; Load stays lock-free
 	numStates atomic.Int32
 	rngs      sync.Pool
 }
 
 // maxSizeStates caps the per-(n, θ) cache: a size-state costs O(n)
-// memory, so an adversarial mix of pool sizes must not pin unbounded
-// state. Requests beyond the cap still work through transient,
-// uncached state.
+// memory, so an adversarial mix of pool sizes or per-request
+// dispersions must not pin unbounded state. At the cap an arbitrary
+// entry is evicted rather than refusing the new key — otherwise a
+// burst of junk (n, θ) keys would permanently lock legitimate traffic
+// out of the amortization.
 const maxSizeStates = 64
 
 // sizeKey indexes the amortized per-size state. Theta is part of the key
@@ -57,8 +61,9 @@ type sizeState struct {
 }
 
 // NewRanker validates cfg and returns a reusable Ranker. Field semantics
-// and defaults are exactly Config's; cfg.Seed is ignored — the seed is
-// per request, passed to Rank.
+// and defaults are exactly Config's; cfg.Seed is only a fallback — each
+// request carries its own seed (Request.Seed, or the seed argument of
+// the legacy Rank).
 func NewRanker(cfg Config) (*Ranker, error) {
 	probe := cfg.withDefaults(1)
 	if _, err := probe.strategy(); err != nil {
@@ -75,8 +80,11 @@ func NewRanker(cfg Config) (*Ranker, error) {
 	if probe.Samples < 1 {
 		return nil, fmt.Errorf("fairrank: samples = %d, want ≥ 1", probe.Samples)
 	}
-	if cfg.Tolerance < 0 {
-		return nil, fmt.Errorf("fairrank: negative tolerance %v", cfg.Tolerance)
+	if math.IsNaN(cfg.Tolerance) || cfg.Tolerance < 0 {
+		return nil, fmt.Errorf("fairrank: tolerance = %v, want ≥ 0", cfg.Tolerance)
+	}
+	if math.IsNaN(cfg.Sigma) || cfg.Sigma < 0 {
+		return nil, fmt.Errorf("fairrank: constraint noise σ = %v, want ≥ 0", cfg.Sigma)
 	}
 	r := &Ranker{cfg: cfg}
 	r.rngs.New = func() any { return rand.New(rand.NewSource(0)) }
@@ -102,33 +110,16 @@ func (r *Ranker) Warm(sizes ...int) error {
 // equivalent to Rank(candidates, cfg) with cfg.Seed = seed — identical
 // output for identical input — but reuses the Ranker's caches. The input
 // slice is not modified.
+//
+// Rank is the legacy entry point, kept as a thin wrapper over Do; it
+// cannot express per-request overrides or cancellation. New code should
+// call Do.
 func (r *Ranker) Rank(candidates []Candidate, seed int64) ([]Candidate, error) {
-	in, err := buildInstance(candidates, r.cfg)
+	res, err := r.Do(context.Background(), Request{Candidates: candidates, Seed: &seed})
 	if err != nil {
 		return nil, err
 	}
-	cfg := r.cfg.withDefaults(len(candidates))
-	rng := r.getRNG(seed)
-	defer r.rngs.Put(rng)
-	var out perm.Perm
-	switch cfg.Algorithm {
-	case AlgorithmMallows, AlgorithmMallowsBest:
-		out, err = r.rankMallows(in, cfg, rng)
-	default:
-		var strat rankers.Ranker
-		strat, err = cfg.strategy()
-		if err != nil {
-			return nil, err
-		}
-		out, err = strat.Rank(in, rng)
-		if err != nil {
-			err = fmt.Errorf("fairrank: %s: %w", strat.Name(), err)
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	return pickCandidates(candidates, out), nil
+	return res.Ranking, nil
 }
 
 // RankParallel is Rank with the best-of-m Mallows draws fanned out over
@@ -139,124 +130,15 @@ func (r *Ranker) Rank(candidates []Candidate, seed int64) ([]Candidate, error) {
 // stream, so for the same seed RankParallel and Rank return different
 // (identically distributed) rankings. Algorithms without a sampling loop
 // fall back to Rank.
+//
+// RankParallel is the legacy entry point, kept as a thin wrapper over
+// DoParallel. New code should call DoParallel.
 func (r *Ranker) RankParallel(candidates []Candidate, seed int64, workers int) ([]Candidate, error) {
-	cfg := r.cfg.withDefaults(len(candidates))
-	if cfg.Algorithm != AlgorithmMallowsBest || cfg.Samples == 1 {
-		return r.Rank(candidates, seed)
-	}
-	in, err := buildInstance(candidates, r.cfg)
+	res, err := r.DoParallel(context.Background(), Request{Candidates: candidates, Seed: &seed}, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	st, err := r.state(len(in.Initial), cfg.Theta)
-	if err != nil {
-		return nil, err
-	}
-	score, err := r.criterion(cfg, in, st)
-	if err != nil {
-		return nil, err
-	}
-	model := r.model(in, cfg)
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > cfg.Samples {
-		workers = cfg.Samples
-	}
-	type draw struct {
-		score float64
-		idx   int
-		p     perm.Perm
-		err   error
-	}
-	results := make([]draw, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Contiguous index chunks: worker w owns draws [lo, hi).
-		lo := w * cfg.Samples / workers
-		hi := (w + 1) * cfg.Samples / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rng := r.rngs.Get().(*rand.Rand)
-			defer r.rngs.Put(rng)
-			cur, best := st.scratch.Get(), st.scratch.Get()
-			defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
-			local := draw{idx: -1}
-			for i := lo; i < hi; i++ {
-				rng.Seed(mixSeed(seed, i))
-				cur = model.SampleInto(st.tables, cur, rng)
-				v, err := score(cur)
-				if err != nil {
-					results[w] = draw{err: err}
-					return
-				}
-				if local.idx < 0 || v > local.score {
-					best, cur = cur, best
-					local = draw{score: v, idx: i}
-				}
-			}
-			local.p = best.Clone()
-			results[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	winner := draw{idx: -1}
-	for _, d := range results {
-		if d.err != nil {
-			return nil, d.err
-		}
-		if winner.idx < 0 || d.score > winner.score || (d.score == winner.score && d.idx < winner.idx) {
-			winner = d
-		}
-	}
-	return pickCandidates(candidates, winner.p), nil
-}
-
-// rankMallows is the amortized replica of rankers.Mallows.Rank /
-// core.PostProcess: same draws, same selection, zero steady-state
-// allocation beyond the returned ranking.
-func (r *Ranker) rankMallows(in rankers.Instance, cfg Config, rng *rand.Rand) (perm.Perm, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	st, err := r.state(len(in.Initial), cfg.Theta)
-	if err != nil {
-		return nil, err
-	}
-	model := r.model(in, cfg)
-	cur, best := st.scratch.Get(), st.scratch.Get()
-	defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
-	best = model.SampleInto(st.tables, best, rng)
-	if cfg.Algorithm == AlgorithmMallows {
-		// Algorithm 1 with m = 1: keep the first (only) draw.
-		return best.Clone(), nil
-	}
-	score, err := r.criterion(cfg, in, st)
-	if err != nil {
-		return nil, err
-	}
-	bestScore, err := score(best)
-	if err != nil {
-		return nil, err
-	}
-	for i := 1; i < cfg.Samples; i++ {
-		cur = model.SampleInto(st.tables, cur, rng)
-		v, err := score(cur)
-		if err != nil {
-			return nil, err
-		}
-		if v > bestScore {
-			// Swap rather than copy: cur becomes the kept sample, best
-			// becomes the scratch the next draw overwrites.
-			best, cur = cur, best
-			bestScore = v
-		}
-	}
-	return best.Clone(), nil
+	return res.Ranking, nil
 }
 
 // model wraps the instance's central ranking as a Mallows model without
@@ -300,8 +182,9 @@ func (r *Ranker) criterion(cfg Config, in rankers.Instance, st *sizeState) (func
 }
 
 // state returns the cached per-(n, θ) tables, building them on first
-// use. Beyond maxSizeStates distinct keys, new states are built but not
-// retained.
+// use. At maxSizeStates distinct keys an arbitrary existing entry is
+// evicted to make room, keeping memory bounded while letting every key
+// (re-)enter the cache.
 func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
 	key := sizeKey{n: n, theta: theta}
 	if v, ok := r.states.Load(key); ok {
@@ -316,14 +199,23 @@ func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
 		disc[rk] = quality.LogDiscount(rk + 1)
 	}
 	st := &sizeState{tables: tab, scratch: perm.NewPool(n), discounts: disc}
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	if v, ok := r.states.Load(key); ok {
+		// Another goroutine cached the key while we built; use theirs so
+		// concurrent requests share one scratch pool.
+		return v.(*sizeState), nil
+	}
 	if r.numStates.Load() >= maxSizeStates {
-		return st, nil
+		r.states.Range(func(k, _ any) bool {
+			r.states.Delete(k)
+			r.numStates.Add(-1)
+			return false // one eviction is enough
+		})
 	}
-	actual, loaded := r.states.LoadOrStore(key, st)
-	if !loaded {
-		r.numStates.Add(1)
-	}
-	return actual.(*sizeState), nil
+	r.states.Store(key, st)
+	r.numStates.Add(1)
+	return st, nil
 }
 
 // getRNG hands out a pooled RNG re-seeded for the request; equal seeds

@@ -2,6 +2,7 @@ package fairrank
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 )
@@ -161,8 +162,12 @@ func TestNewRankerRejectsInvalid(t *testing.T) {
 		{Algorithm: AlgorithmMallowsBest, Criterion: "splines"},
 		{Central: "midpoint"},
 		{Theta: -1},
+		{Theta: math.NaN()},
 		{Samples: -3},
 		{Tolerance: -0.2},
+		{Tolerance: math.NaN()},
+		{Sigma: -1},
+		{Sigma: math.NaN()},
 	}
 	for _, cfg := range cases {
 		if _, err := NewRanker(cfg); err == nil {
@@ -185,9 +190,10 @@ func TestRankerWarm(t *testing.T) {
 	}
 }
 
-// Beyond maxSizeStates distinct pool sizes the cache stops growing but
-// ranking still works (through transient state) and stays equivalent to
-// Rank.
+// Beyond maxSizeStates distinct pool sizes the cache stays bounded
+// (evicting an old entry per new key) and ranking stays equivalent to
+// Rank — a burst of junk (n, θ) keys cannot lock later traffic out of
+// the amortization.
 func TestRankerSizeCacheCap(t *testing.T) {
 	r, err := NewRanker(Config{Theta: 1, Samples: 3})
 	if err != nil {
@@ -203,8 +209,8 @@ func TestRankerSizeCacheCap(t *testing.T) {
 	if got := r.numStates.Load(); got != maxSizeStates {
 		t.Fatalf("cached %d size states, want %d", got, maxSizeStates)
 	}
-	// A fresh size past the cap must rank correctly without growing the
-	// cache.
+	// A fresh size past the cap must rank correctly, evicting rather
+	// than growing.
 	pool := germanPool(t, maxSizeStates+10)
 	want, err := Rank(pool, Config{Theta: 1, Samples: 3, Seed: 5})
 	if err != nil {

@@ -1,0 +1,400 @@
+package fairrank
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fairness"
+	"repro/internal/perm"
+	"repro/internal/quality"
+	"repro/internal/rankdist"
+	"repro/internal/rankers"
+)
+
+// Request asks a Ranker for one fair ranking. Candidates is the pool to
+// rank; every other field is a per-request override of the Ranker's
+// Config. Override fields are pointers so that an explicit zero is a
+// real value rather than "unset": Theta = 0 is uniform noise (every
+// permutation equally likely) and Tolerance = 0 is exact proportional
+// representation — both legitimate settings that Config's zero-means-
+// default convention cannot express. A nil override inherits the
+// Config value (after Config's own defaulting).
+//
+// Per-request Theta is cheap: the Ranker's amortized Mallows tables are
+// keyed by (pool size, θ), so requests with different dispersions share
+// the cache instead of invalidating it.
+type Request struct {
+	// Candidates is the pool to rank; must be nonempty with unique,
+	// nonempty IDs, nonempty Groups, and non-NaN scores.
+	Candidates []Candidate
+	// Theta overrides Config.Theta (Mallows dispersion); must be ≥ 0.
+	// 0 draws uniformly random permutations.
+	Theta *float64
+	// Samples overrides Config.Samples (best-of-m draw count); ≥ 1.
+	Samples *int
+	// Criterion overrides Config.Criterion when nonempty. The empty
+	// string inherits (no Criterion value is empty, so a string field
+	// carries no zero ambiguity).
+	Criterion Criterion
+	// Tolerance overrides Config.Tolerance (proportional-constraint
+	// slack); must be ≥ 0. 0 demands exact proportionality.
+	Tolerance *float64
+	// TopK truncates Result.Ranking to the best TopK candidates and
+	// scopes the fairness audit to those prefixes; must be ≥ 1 and is
+	// clamped to the pool size. Nil returns the full ranking.
+	TopK *int
+	// Seed overrides Config.Seed. Equal resolved requests with equal
+	// seeds produce equal rankings.
+	Seed *int64
+}
+
+// Result is a ranking plus the diagnostics of how it was produced,
+// computed from state the engine already holds — no second ranking or
+// evaluation pass over the pool.
+type Result struct {
+	// Ranking lists the candidates best first, truncated to the
+	// request's TopK when set.
+	Ranking []Candidate
+	// Diagnostics reports the resolved parameters and the self-audit of
+	// the ranking.
+	Diagnostics Diagnostics
+}
+
+// Diagnostics reports the resolved request parameters (after override
+// resolution) and quality/fairness measurements of the returned ranking.
+type Diagnostics struct {
+	// Algorithm, Central, Criterion, Theta, Samples, Tolerance, and Seed
+	// are the values the request actually ran with, after applying
+	// Config defaults and Request overrides.
+	Algorithm Algorithm
+	Central   Central
+	Criterion Criterion
+	Theta     float64
+	Samples   int
+	Tolerance float64
+	Seed      int64
+	// TopK is the length of Result.Ranking (the pool size when the
+	// request set no truncation).
+	TopK int
+	// NDCG is the full-ranking NDCG of the chosen ranking against the
+	// score-ideal order. For the NDCG selection criterion this is the
+	// winning sample's selection score, reused rather than recomputed.
+	NDCG float64
+	// DrawsEvaluated counts Mallows samples drawn and scored: Samples
+	// for mallows-best, 1 for mallows, 0 for the deterministic
+	// algorithms.
+	DrawsEvaluated int
+	// CentralKendallTau is the Kendall tau distance between the chosen
+	// ranking and the central ranking the noise was centred on (for the
+	// KT criterion, the winning sample's selection score, reused).
+	CentralKendallTau int64
+	// PPfair is the percentage of P-fair positions (Definition 4) of
+	// the first TopK prefixes under the resolved tolerance, audited
+	// against the Group attribute.
+	PPfair float64
+	// InfeasibleIndex is the Two-Sided Infeasible Index (Definition 3)
+	// over the first TopK prefixes.
+	InfeasibleIndex int
+}
+
+// Do serves one request: it resolves the request's overrides against the
+// Ranker's Config, ranks the candidates, and returns the ranking with
+// its diagnostics. Sampling is sequential from a single RNG stream, so
+// for equal resolved parameters and seeds Do returns exactly what the
+// legacy Ranker.Rank and package-level Rank return.
+//
+// ctx cancellation and deadlines are honored between Mallows draws; a
+// cancelled context aborts the best-of-m loop promptly with ctx.Err().
+// The deterministic algorithms check ctx only before dispatch.
+func (r *Ranker) Do(ctx context.Context, req Request) (*Result, error) {
+	return r.do(ctx, req, 0)
+}
+
+// DoParallel is Do with the best-of-m Mallows draws fanned out over up
+// to workers goroutines. The result is deterministic for equal seeds and
+// independent of workers — draw i uses its own RNG seeded by a mix of
+// (seed, i) — but the draws consume different random streams than Do's
+// single sequential stream, so for one seed Do and DoParallel return
+// different (identically distributed) rankings. Requests without a
+// sampling loop fall back to the sequential path.
+func (r *Ranker) DoParallel(ctx context.Context, req Request, workers int) (*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return r.do(ctx, req, workers)
+}
+
+// do is the single serving path behind Do (workers = 0, sequential
+// stream) and DoParallel (workers ≥ 1, per-draw derived streams).
+func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, error) {
+	cfg, topK, err := r.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	in, err := buildInstance(req.Candidates, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		out    perm.Perm
+		score  float64
+		scored bool
+		draws  int
+	)
+	switch cfg.Algorithm {
+	case AlgorithmMallows, AlgorithmMallowsBest:
+		if workers > 0 && cfg.Algorithm == AlgorithmMallowsBest && cfg.Samples > 1 {
+			out, score, scored, err = r.sampleParallel(ctx, in, cfg, workers)
+		} else {
+			rng := r.getRNG(cfg.Seed)
+			out, score, scored, err = r.sampleSequential(ctx, in, cfg, rng)
+			r.rngs.Put(rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		draws = 1
+		if cfg.Algorithm == AlgorithmMallowsBest {
+			draws = cfg.Samples
+		}
+	default:
+		strat, serr := cfg.strategy()
+		if serr != nil {
+			return nil, serr
+		}
+		rng := r.getRNG(cfg.Seed)
+		out, err = strat.Rank(in, rng)
+		r.rngs.Put(rng)
+		if err != nil {
+			return nil, fmt.Errorf("fairrank: %s: %w", strat.Name(), err)
+		}
+	}
+	diag, err := diagnose(in, cfg, out, topK, score, scored, draws)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Ranking:     pickCandidates(req.Candidates, out[:topK]),
+		Diagnostics: diag,
+	}, nil
+}
+
+// resolve merges the Ranker's Config (with its defaults applied for the
+// request's pool size) and the request's overrides, validating each
+// override. The resolution order is: Request field if set, else Config
+// field if nonzero, else the built-in default.
+func (r *Ranker) resolve(req Request) (Config, int, error) {
+	n := len(req.Candidates)
+	cfg := r.cfg.withDefaults(n)
+	if req.Theta != nil {
+		if math.IsNaN(*req.Theta) || *req.Theta < 0 {
+			return Config{}, 0, fmt.Errorf("fairrank: request dispersion θ = %v, want ≥ 0", *req.Theta)
+		}
+		cfg.Theta = *req.Theta
+	}
+	if req.Samples != nil {
+		if *req.Samples < 1 {
+			return Config{}, 0, fmt.Errorf("fairrank: request samples = %d, want ≥ 1", *req.Samples)
+		}
+		cfg.Samples = *req.Samples
+	}
+	if req.Criterion != "" {
+		switch req.Criterion {
+		case CriterionNDCG, CriterionKT:
+		default:
+			return Config{}, 0, fmt.Errorf("fairrank: unknown criterion %q", req.Criterion)
+		}
+		cfg.Criterion = req.Criterion
+	}
+	if req.Tolerance != nil {
+		if math.IsNaN(*req.Tolerance) || *req.Tolerance < 0 {
+			return Config{}, 0, fmt.Errorf("fairrank: request tolerance %v, want ≥ 0", *req.Tolerance)
+		}
+		cfg.Tolerance = *req.Tolerance
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	topK := n
+	if req.TopK != nil {
+		if *req.TopK < 1 {
+			return Config{}, 0, fmt.Errorf("fairrank: request top-k = %d, want ≥ 1", *req.TopK)
+		}
+		if *req.TopK < topK {
+			topK = *req.TopK
+		}
+	}
+	return cfg, topK, nil
+}
+
+// sampleSequential runs the amortized best-of-m loop on one RNG stream:
+// same draws and selection as the pre-Request engine, bit for bit, plus
+// a cancellation check between draws. It returns the chosen ranking and,
+// when a selection criterion ran, its winning score.
+func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st, err := r.state(len(in.Initial), cfg.Theta)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	model := r.model(in, cfg)
+	cur, best := st.scratch.Get(), st.scratch.Get()
+	defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
+	best = model.SampleInto(st.tables, best, rng)
+	if cfg.Algorithm == AlgorithmMallows {
+		// Algorithm 1 with m = 1: keep the first (only) draw.
+		return best.Clone(), 0, false, nil
+	}
+	score, err := r.criterion(cfg, in, st)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	bestScore, err := score(best)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := 1; i < cfg.Samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, err
+		}
+		cur = model.SampleInto(st.tables, cur, rng)
+		v, err := score(cur)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if v > bestScore {
+			// Swap rather than copy: cur becomes the kept sample, best
+			// becomes the scratch the next draw overwrites.
+			best, cur = cur, best
+			bestScore = v
+		}
+	}
+	return best.Clone(), bestScore, true, nil
+}
+
+// sampleParallel fans the best-of-m draws over up to workers goroutines.
+// Draw i uses its own RNG seeded by mixSeed(seed, i) and score ties
+// break toward the lowest i, so the result depends only on the resolved
+// seed, never on the worker count. Each worker checks ctx between draws.
+func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, workers int) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st, err := r.state(len(in.Initial), cfg.Theta)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	score, err := r.criterion(cfg, in, st)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	model := r.model(in, cfg)
+	if workers > cfg.Samples {
+		workers = cfg.Samples
+	}
+	type draw struct {
+		score float64
+		idx   int
+		p     perm.Perm
+		err   error
+	}
+	results := make([]draw, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous index chunks: worker w owns draws [lo, hi).
+		lo := w * cfg.Samples / workers
+		hi := (w + 1) * cfg.Samples / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := r.rngs.Get().(*rand.Rand)
+			defer r.rngs.Put(rng)
+			cur, best := st.scratch.Get(), st.scratch.Get()
+			defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
+			local := draw{idx: -1}
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					results[w] = draw{err: err}
+					return
+				}
+				rng.Seed(mixSeed(cfg.Seed, i))
+				cur = model.SampleInto(st.tables, cur, rng)
+				v, err := score(cur)
+				if err != nil {
+					results[w] = draw{err: err}
+					return
+				}
+				if local.idx < 0 || v > local.score {
+					best, cur = cur, best
+					local = draw{score: v, idx: i}
+				}
+			}
+			local.p = best.Clone()
+			results[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	winner := draw{idx: -1}
+	for _, d := range results {
+		if d.err != nil {
+			return nil, 0, false, d.err
+		}
+		if winner.idx < 0 || d.score > winner.score || (d.score == winner.score && d.idx < winner.idx) {
+			winner = d
+		}
+	}
+	return winner.p, winner.score, true, nil
+}
+
+// diagnose assembles the Result diagnostics from state the serving path
+// already holds: the instance's scores, central ranking, groups, and
+// materialized prefix bounds, plus the selection score when the
+// best-of-m loop computed one. One O(n·groups) violation scan audits
+// both PPfair and the infeasible index; NDCG and the central Kendall tau
+// are reused from the selection criterion when it already computed them.
+func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score float64, scored bool, draws int) (Diagnostics, error) {
+	d := Diagnostics{
+		Algorithm:      cfg.Algorithm,
+		Central:        cfg.Central,
+		Criterion:      cfg.Criterion,
+		Theta:          cfg.Theta,
+		Samples:        cfg.Samples,
+		Tolerance:      cfg.Tolerance,
+		Seed:           cfg.Seed,
+		TopK:           topK,
+		DrawsEvaluated: draws,
+	}
+	if scored && cfg.Criterion == CriterionNDCG {
+		d.NDCG = score
+	} else {
+		v, err := quality.NDCGFull(out, in.Scores)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		d.NDCG = v
+	}
+	if scored && cfg.Criterion == CriterionKT {
+		d.CentralKendallTau = int64(-score)
+	} else {
+		kt, err := rankdist.KendallTau(out, in.Initial)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		d.CentralKendallTau = kt
+	}
+	v, err := fairness.EvaluateViolations(out, in.Groups, in.Bounds)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	d.InfeasibleIndex = v.TwoSidedAt(topK)
+	d.PPfair = 100 * (1 - float64(d.InfeasibleIndex)/float64(topK))
+	return d, nil
+}
