@@ -528,6 +528,68 @@ func BenchmarkRankerReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkPlackettLuceBest covers the hot path of the registry's
+// pl-best algorithm — the engine-managed best-of-m loop drawing from the
+// Plackett–Luce mechanism (Gumbel-max sampling, O(n log n) per draw) —
+// at the serving workhorse shape of n = 1000, m = 15, sequentially and
+// with the draws fanned out across cores.
+func BenchmarkPlackettLuceBest(b *testing.B) {
+	pool := servingPool(1000)
+	r, err := fairrank.NewRanker(fairrank.Config{
+		Algorithm: fairrank.AlgorithmPlackettLuce,
+		Theta:     0.01,
+		Samples:   15,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed := int64(i)
+			if _, err := r.Do(ctx, fairrank.Request{Candidates: pool, Seed: &seed}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			seed := int64(i)
+			if _, err := r.DoParallel(ctx, fairrank.Request{Candidates: pool, Seed: &seed}, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNoiseAxis compares the registered mechanisms through the one
+// engine loop that serves them all (mallows-best with the per-request
+// noise override), so regressions in any mechanism's serving path
+// surface here.
+func BenchmarkNoiseAxis(b *testing.B) {
+	pool := servingPool(1000)
+	r, err := fairrank.NewRanker(fairrank.Config{Theta: 1, Samples: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, n := range fairrank.Noises() {
+		b.Run(n.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				if _, err := r.Do(ctx, fairrank.Request{
+					Candidates: pool,
+					Noise:      fairrank.Noise(n.Name),
+					Seed:       &seed,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServiceBatch measures batch throughput of the serving layer:
 // independent 200-candidate requests ranked concurrently through the
 // bounded worker pool.

@@ -1,0 +1,140 @@
+package fairrank
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/rankers"
+)
+
+// gmallowsDecay is the per-position geometric decay of the generalized
+// Mallows built-in: insertion step j uses dispersion θ·gmallowsDecay^j,
+// so the head of the ranking stays close to the central while the tail
+// mixes progressively more.
+const gmallowsDecay = 0.97
+
+// internalStrategy adapts an internal/rankers implementation to the
+// public Strategy interface; the built-in factories use it, and it keeps
+// their Rank-time behavior byte-for-byte what the pre-registry dispatch
+// produced.
+type internalStrategy struct {
+	r rankers.Ranker
+}
+
+func (s internalStrategy) Rank(in *Instance, rng *rand.Rand) ([]int, error) {
+	p, err := s.r.Rank(in.in, rng)
+	return []int(p), err
+}
+
+func init() {
+	// Noise mechanisms first: sampling algorithms may pin one.
+	MustRegisterNoise(NoiseInfo{
+		Name:        string(NoiseMallows),
+		Description: "Mallows model M(central, θ) — the paper's mechanism (repeated-insertion sampling, amortized tables)",
+	}, func(central []int, theta float64) (func(*rand.Rand) []int, error) {
+		return adaptNoise(core.MallowsNoise{Theta: theta}, central)
+	})
+	MustRegisterNoise(NoiseInfo{
+		Name:        string(NoiseGMallows),
+		Description: "generalized Mallows (Fligner–Verducci) with per-position dispersion θ·0.97^j: the head stays close to the central, the tail mixes more",
+	}, func(central []int, theta float64) (func(*rand.Rand) []int, error) {
+		thetas := make([]float64, len(central))
+		for j := range thetas {
+			thetas[j] = theta * math.Pow(gmallowsDecay, float64(j))
+		}
+		return adaptNoise(core.GeneralizedMallowsNoise{Thetas: thetas}, central)
+	})
+	MustRegisterNoise(NoiseInfo{
+		Name:        string(NoisePlackettLuce),
+		Description: "Plackett–Luce with weights e^{−θ·rank} (Gumbel-max sampling); θ = 0 is uniform, large θ concentrates on the central",
+	}, func(central []int, theta float64) (func(*rand.Rand) []int, error) {
+		return adaptNoise(core.PlackettLuceNoise{Strength: theta}, central)
+	})
+
+	samplingTunables := []string{"central", "theta", "noise", "tolerance", "weak_k", "seed"}
+	bestOfTunables := []string{"central", "criterion", "theta", "noise", "samples", "tolerance", "weak_k", "seed"}
+	plTunables := []string{"central", "criterion", "theta", "samples", "tolerance", "weak_k", "seed"}
+	constraintTunables := []string{"tolerance", "sigma", "seed"}
+
+	MustRegister(AlgorithmInfo{
+		Name:           string(AlgorithmMallowsBest),
+		Description:    "paper Algorithm 1: best of m noise draws around the central ranking (Mallows by default; see the noise catalog)",
+		AttributeBlind: true,
+		Sampling:       true,
+		BestOf:         true,
+		Tunables:       bestOfTunables,
+	}, nil)
+	MustRegister(AlgorithmInfo{
+		Name:           string(AlgorithmMallows),
+		Description:    "paper Algorithm 1 with m = 1 (a single noise draw around the central ranking)",
+		AttributeBlind: true,
+		Sampling:       true,
+		Tunables:       samplingTunables,
+	}, nil)
+	MustRegister(AlgorithmInfo{
+		Name:           string(AlgorithmPlackettLuce),
+		Description:    "best of m Plackett–Luce draws around the central ranking (the paper's §VI beyond-Mallows direction; θ is the concentration strength)",
+		AttributeBlind: true,
+		Sampling:       true,
+		BestOf:         true,
+		Noise:          NoisePlackettLuce,
+		Tunables:       plTunables,
+	}, nil)
+	MustRegister(AlgorithmInfo{
+		Name:          string(AlgorithmILP),
+		Description:   "DCG-optimal (α,β)-fair ranking, paper §IV-B, solved exactly",
+		Deterministic: true,
+		SupportsSigma: true,
+		Tunables:      constraintTunables,
+	}, func(cfg Config) (Strategy, error) {
+		return internalStrategy{rankers.ILPRanker{Sigma: cfg.Sigma}}, nil
+	})
+	MustRegister(AlgorithmInfo{
+		Name:          string(AlgorithmDetConstSort),
+		Description:   "Geyik et al., KDD'19 DetConstSort",
+		Deterministic: true,
+		SupportsSigma: true,
+		Tunables:      constraintTunables,
+	}, func(cfg Config) (Strategy, error) {
+		return internalStrategy{rankers.DetConstSort{Sigma: cfg.Sigma}}, nil
+	})
+	MustRegister(AlgorithmInfo{
+		Name:          string(AlgorithmIPF),
+		Description:   "Wei et al., SIGMOD'22 ApproxMultiValuedIPF (footrule-optimal)",
+		Deterministic: true,
+		SupportsSigma: true,
+		Tunables:      constraintTunables,
+	}, func(cfg Config) (Strategy, error) {
+		return internalStrategy{rankers.ApproxMultiValuedIPF{Sigma: cfg.Sigma}}, nil
+	})
+	MustRegister(AlgorithmInfo{
+		Name:          string(AlgorithmGrBinary),
+		Description:   "Wei et al., SIGMOD'22 GrBinaryIPF (Kendall-tau-optimal, exactly two groups)",
+		Deterministic: true,
+		MinGroups:     2,
+		MaxGroups:     2,
+		Tunables:      []string{"tolerance", "seed"},
+	}, func(cfg Config) (Strategy, error) {
+		return internalStrategy{rankers.GrBinaryIPF{}}, nil
+	})
+	MustRegister(AlgorithmInfo{
+		Name:           string(AlgorithmScoreSorted),
+		Description:    "sort by score (no-fairness baseline)",
+		AttributeBlind: true,
+		Deterministic:  true,
+	}, func(cfg Config) (Strategy, error) {
+		return internalStrategy{rankers.ScoreSorted{}}, nil
+	})
+}
+
+// adaptNoise bridges a core.Noise mechanism into the public NoiseSampler
+// draw shape over plain index slices.
+func adaptNoise(n core.Noise, central []int) (func(*rand.Rand) []int, error) {
+	draw, err := n.Sampler(perm.Perm(central))
+	if err != nil {
+		return nil, err
+	}
+	return func(rng *rand.Rand) []int { return []int(draw(rng)) }, nil
+}

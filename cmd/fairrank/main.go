@@ -17,20 +17,42 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	fairrank "repro"
 	"repro/internal/candidatecsv"
 )
+
+// algorithmNames and noiseNames enumerate the registry, so the usage
+// text always matches what is actually rankable — algorithms registered
+// by linked-in code appear without a CLI edit.
+func algorithmNames() string {
+	var names []string
+	for _, a := range fairrank.Algorithms() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func noiseNames() string {
+	var names []string
+	for _, n := range fairrank.Noises() {
+		names = append(names, n.Name)
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fairrank: ")
 	in := flag.String("in", "-", `input CSV ("-" for stdin; header: id,score,group,...)`)
 	out := flag.String("out", "-", `output CSV ("-" for stdout)`)
-	algo := flag.String("algorithm", string(fairrank.AlgorithmMallowsBest),
-		"one of: mallows, mallows-best, detconstsort, ipf, grbinary, ilp, score")
-	theta := flag.Float64("theta", 1, "Mallows dispersion θ (0 = uniform noise)")
-	samples := flag.Int("samples", 15, "Mallows best-of-m sample count")
+	algo := flag.String("algorithm", string(fairrank.DefaultAlgorithm),
+		"one of: "+algorithmNames())
+	noise := flag.String("noise", string(fairrank.NoiseMallows),
+		"randomization mechanism of the sampling algorithms, one of: "+noiseNames())
+	theta := flag.Float64("theta", 1, "noise dispersion θ (0 = uniform noise)")
+	samples := flag.Int("samples", 15, "best-of-m sample count")
 	sigma := flag.Float64("sigma", 0, "constraint noise σ for the attribute-aware algorithms")
 	tol := flag.Float64("tol", 0.1, "proportional constraint tolerance (0 = exact proportionality)")
 	weakK := flag.Int("k", 0, "weakly fair prefix length (0 = min(10, n))")
@@ -63,6 +85,7 @@ func main() {
 		Theta:      theta,
 		Samples:    samples,
 		Criterion:  fairrank.Criterion(*criterion),
+		Noise:      fairrank.Noise(*noise),
 		Tolerance:  tol,
 		Seed:       seed,
 	}
@@ -77,8 +100,12 @@ func main() {
 		log.Fatal(err)
 	}
 	d := res.Diagnostics
-	log.Printf("algorithm=%s theta=%g samples=%d ndcg=%.4f draws=%d kendall_tau_to_central=%d infeasible_index=%d ppfair=%.1f%% (top %d, tol=%g)",
-		d.Algorithm, d.Theta, d.Samples, d.NDCG, d.DrawsEvaluated, d.CentralKendallTau, d.InfeasibleIndex, d.PPfair, d.TopK, d.Tolerance)
+	mech := string(d.Noise)
+	if mech == "" {
+		mech = "none" // deterministic algorithms draw nothing
+	}
+	log.Printf("algorithm=%s noise=%s theta=%g samples=%d ndcg=%.4f draws=%d kendall_tau_to_central=%d infeasible_index=%d ppfair=%.1f%% (top %d, tol=%g)",
+		d.Algorithm, mech, d.Theta, d.Samples, d.NDCG, d.DrawsEvaluated, d.CentralKendallTau, d.InfeasibleIndex, d.PPfair, d.TopK, d.Tolerance)
 }
 
 func readFrom(path string) ([]fairrank.Candidate, []string, error) {

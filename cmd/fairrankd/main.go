@@ -20,9 +20,13 @@
 //	  "top_k": 1, "seed": 42
 //	}'
 //
-// theta, samples, criterion, tolerance, top_k, and seed are per-request
-// overrides; explicit zeros are honored (theta 0 = uniform noise,
-// tolerance 0 = exact proportionality). Every response carries a
+// theta, samples, criterion, noise, tolerance, top_k, and seed are
+// per-request overrides; explicit zeros are honored (theta 0 = uniform
+// noise, tolerance 0 = exact proportionality), and "noise" selects the
+// randomization mechanism of the sampling algorithms ("mallows",
+// "gmallows", "plackett-luce", plus anything registered). The servable
+// algorithms are whatever the fairrank registry holds at startup — GET
+// /v1/algorithms returns the generated catalog. Every response carries a
 // "diagnostics" block: the resolved parameters plus a self-audit of the
 // ranking (NDCG, draws evaluated, Kendall tau to the central ranking,
 // PPfair and the Two-Sided Infeasible Index over the delivered prefix).
@@ -44,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +77,20 @@ func main() {
 		WriteTimeout:      120 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+
+	// Enumerate the servable surface from the generated catalog, so the
+	// startup log always matches GET /v1/algorithms.
+	cat := service.Catalog()
+	names := make([]string, len(cat.Algorithms))
+	for i, a := range cat.Algorithms {
+		names[i] = a.Name
+	}
+	noiseNames := make([]string, len(cat.Noises))
+	for i, n := range cat.Noises {
+		noiseNames[i] = n.Name
+	}
+	log.Printf("serving %d algorithms (%s) with %d noise mechanisms (%s)",
+		len(names), strings.Join(names, ", "), len(noiseNames), strings.Join(noiseNames, ", "))
 
 	errc := make(chan error, 1)
 	go func() {

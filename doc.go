@@ -64,6 +64,26 @@
 // the evaluation: NDCG, Kendall tau, the Two-Sided Infeasible Index and
 // the percentage of P-fair positions.
 //
+// # Extension points
+//
+// Algorithm dispatch is a registry, not a switch: every algorithm —
+// including all built-ins — is an AlgorithmInfo metadata record
+// (attribute-blind, deterministic, supported group counts, applicable
+// tunables) plus either a Strategy factory or, for the Algorithm-1
+// sampling family, capability flags the engine interprets. Register
+// adds one; it is immediately constructible by name through
+// NewRanker/Rank, servable and cataloged by the HTTP layer
+// (GET /v1/algorithms), and listed in the CLI usage — no dispatch table
+// to edit anywhere. See ExampleRegister.
+//
+// The randomization mechanism of the sampling algorithms is likewise a
+// registry axis (§VI of the paper proposes mechanisms beyond Mallows):
+// Config.Noise / Request.Noise select among the registered mechanisms —
+// built-ins "mallows", "gmallows", "plackett-luce" — and RegisterNoise
+// adds more. AlgorithmPlackettLuce ("pl-best") pins the Plackett–Luce
+// mechanism as a first-class algorithm. Unknown names fail with errors
+// wrapping ErrUnknownAlgorithm / ErrUnknownNoise.
+//
 // Implementation lives under internal/; see README.md for install,
 // configuration tables, and command usage, and docs/ARCHITECTURE.md for
 // the package map and the data flow of a ranking request.

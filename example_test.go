@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
 	fairrank "repro"
 )
@@ -160,6 +161,88 @@ func ExampleRanker_Do() {
 	// 3. ava (f)
 	// 4. gus (m)
 	// draws=15 ppfair@4=100% infeasible=0
+}
+
+// The registry is the extension point: Register makes a custom Strategy
+// constructible by name everywhere an algorithm name is accepted — the
+// library (NewRanker/Rank), the serving catalog (GET /v1/algorithms),
+// and the CLIs — with no dispatch table to edit.
+func registerRoundRobin() {
+	fairrank.MustRegister(fairrank.AlgorithmInfo{
+		Name:          "round-robin",
+		Description:   "cycle through the groups, taking each group's best remaining candidate",
+		Deterministic: true,
+	}, func(cfg fairrank.Config) (fairrank.Strategy, error) {
+		return fairrank.StrategyFunc(func(in *fairrank.Instance, _ *rand.Rand) ([]int, error) {
+			queues := make([][]int, in.NumGroups())
+			for _, item := range in.Central() {
+				queues[in.Group(item)] = append(queues[in.Group(item)], item)
+			}
+			out := make([]int, 0, in.N())
+			for len(out) < in.N() {
+				for g := range queues {
+					if len(queues[g]) > 0 {
+						out = append(out, queues[g][0])
+						queues[g] = queues[g][1:]
+					}
+				}
+			}
+			return out, nil
+		}), nil
+	})
+}
+
+func ExampleRegister() {
+	// Guarded so a repeated in-process run (go test -count=2) does not
+	// re-register; the registry is process-global, first wins.
+	if _, registered := fairrank.LookupAlgorithm("round-robin"); !registered {
+		registerRoundRobin()
+	}
+	// The registration is immediately visible in the metadata catalog…
+	info, _ := fairrank.LookupAlgorithm("round-robin")
+	fmt.Println(info.Name, "—", info.Description)
+	// …and rankable by name like any built-in.
+	r, err := fairrank.NewRanker(fairrank.Config{Algorithm: "round-robin", Central: fairrank.CentralScoreOrder})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), fairrank.Request{Candidates: examplePool()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Printf("%d. %s (%s)\n", i+1, res.Ranking[i].ID, res.Ranking[i].Group)
+	}
+	// Output:
+	// round-robin — cycle through the groups, taking each group's best remaining candidate
+	// 1. ava (f)
+	// 2. emil (m)
+	// 3. bea (f)
+	// 4. finn (m)
+}
+
+// The noise mechanism is a first-class axis of the sampling algorithms:
+// one Config (or per-request) field swaps Mallows for any registered
+// mechanism — here Plackett–Luce, the paper's §VI direction.
+func ExampleConfig_noise() {
+	r, err := fairrank.NewRanker(fairrank.Config{
+		Algorithm: fairrank.AlgorithmMallowsBest,
+		Noise:     fairrank.NoisePlackettLuce,
+		Theta:     0.5,
+		Samples:   10,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), fairrank.Request{Candidates: examplePool()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := res.Diagnostics
+	fmt.Printf("noise=%s draws=%d top=%s\n", d.Noise, d.DrawsEvaluated, res.Ranking[0].ID)
+	// Output:
+	// noise=plackett-luce draws=10 top=emil
 }
 
 func ExampleKendallTau() {

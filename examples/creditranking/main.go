@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,24 +54,25 @@ func main() {
 		{"ilp (dcg-optimal)", fairrank.Config{Algorithm: fairrank.AlgorithmILP, Tolerance: tolerance}},
 		{"mallows best-of-15", fairrank.Config{Algorithm: fairrank.AlgorithmMallowsBest, Theta: 1, Samples: 15, Tolerance: tolerance, Seed: 3}},
 	}
+	ctx := context.Background()
 	for _, c := range configs {
-		ranked, err := fairrank.Rank(pool, c.cfg)
+		// One reusable Ranker per configuration; the Result's self-audit
+		// already carries NDCG and PPfair on the known attribute, so only
+		// the withheld-attribute audit runs on the returned ranking.
+		ranker, err := fairrank.NewRanker(c.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ndcg, err := fairrank.NDCG(ranked)
+		res, err := ranker.Do(ctx, fairrank.Request{Candidates: pool})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ppKnown, err := fairrank.PPfair(ranked, tolerance)
+		ppHidden, err := fairrank.PPfairByAttr(res.Ranking, "housing", tolerance)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ppHidden, err := fairrank.PPfairByAttr(ranked, "housing", tolerance)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-22s  %-7.4f  %-14.1f  %.1f\n", c.name, ndcg, ppKnown, ppHidden)
+		d := res.Diagnostics
+		fmt.Printf("%-22s  %-7.4f  %-14.1f  %.1f\n", c.name, d.NDCG, d.PPfair, ppHidden)
 	}
 	fmt.Println("\nThe Mallows mechanism never read either attribute; its fairness")
 	fmt.Println("on Housing is a property of the randomization, not of constraints.")

@@ -29,10 +29,13 @@ type Candidate struct {
 	Attrs map[string]string
 }
 
-// Algorithm selects the post-processing method.
+// Algorithm selects the post-processing method by its registered name.
+// The constants below name the built-ins; Register adds more — the
+// registry (see registry.go) is the single source of truth for what is
+// rankable, and the serving catalog and CLI usage derive from it.
 type Algorithm string
 
-// The available post-processors.
+// The built-in post-processors. Each self-registers in builtins.go.
 const (
 	// AlgorithmMallows draws a single Mallows sample around the weakly
 	// fair central ranking (the paper's Algorithm 1 with m = 1).
@@ -53,6 +56,35 @@ const (
 	AlgorithmILP Algorithm = "ilp"
 	// AlgorithmScoreSorted ranks purely by score (no fairness).
 	AlgorithmScoreSorted Algorithm = "score"
+	// AlgorithmPlackettLuce draws Samples Plackett–Luce rankings around
+	// the central (item weights e^{−θ·central rank}) and keeps the best
+	// under the criterion — the paper's §VI beyond-Mallows direction as
+	// a first-class algorithm.
+	AlgorithmPlackettLuce Algorithm = "pl-best"
+)
+
+// DefaultAlgorithm is what an empty Config.Algorithm resolves to.
+const DefaultAlgorithm = AlgorithmMallowsBest
+
+// Noise selects the randomization mechanism the sampling algorithms
+// (the Algorithm-1 family) draw from, by its registered name. The
+// paper's §VI proposes exploring mechanisms beyond Mallows; the
+// built-ins below cover that direction, and RegisterNoise adds more.
+type Noise string
+
+// The built-in noise mechanisms. Each self-registers in builtins.go.
+const (
+	// NoiseMallows draws from the Mallows model M(central, θ) — the
+	// paper's mechanism and the default. It is served by the engine's
+	// amortized (n, θ)-keyed insertion tables.
+	NoiseMallows Noise = "mallows"
+	// NoiseGMallows draws from the Fligner–Verducci generalized Mallows
+	// model with per-position dispersion θ·0.97^j: the head of the
+	// ranking stays close to the central while the tail mixes more.
+	NoiseGMallows Noise = "gmallows"
+	// NoisePlackettLuce draws a Plackett–Luce ranking with item weights
+	// e^{−θ·(central rank)}; θ = 0 is uniform.
+	NoisePlackettLuce Noise = "plackett-luce"
 )
 
 // Central selects the ranking the Mallows mechanism randomizes around
@@ -114,8 +146,17 @@ type Config struct {
 	// choice when the central is already fair (CentralFairDCG) and the
 	// noise is there for robustness, not quality recovery.
 	Criterion Criterion
-	// Theta is the Mallows dispersion (default 1). Zero is read as
-	// "unset"; use Request.Theta for an explicit θ = 0 (uniform noise).
+	// Noise picks the randomization mechanism of the sampling
+	// algorithms; defaults to NoiseMallows. Algorithms that pin their
+	// own mechanism (AlgorithmPlackettLuce) and the non-sampling
+	// algorithms ignore it. Request.Noise overrides it per request.
+	Noise Noise
+	// Theta is the noise dispersion/concentration (default 1): the
+	// Mallows dispersion under the default mechanism, the base
+	// per-position dispersion for gmallows, the weight-decay strength
+	// for plackett-luce — every registered mechanism receives it. Zero
+	// is read as "unset"; use Request.Theta for an explicit θ = 0
+	// (uniform noise).
 	Theta float64
 	// Samples is the best-of-m draw count (default 15).
 	Samples int
@@ -138,7 +179,10 @@ type Config struct {
 
 func (c Config) withDefaults(n int) Config {
 	if c.Algorithm == "" {
-		c.Algorithm = AlgorithmMallowsBest
+		c.Algorithm = DefaultAlgorithm
+	}
+	if c.Noise == "" {
+		c.Noise = NoiseMallows
 	}
 	if c.Central == "" {
 		c.Central = CentralWeaklyFair
@@ -162,37 +206,6 @@ func (c Config) withDefaults(n int) Config {
 		}
 	}
 	return c
-}
-
-// strategy maps the configured algorithm onto its internal/rankers
-// implementation. c must already have defaults applied.
-func (c Config) strategy() (rankers.Ranker, error) {
-	switch c.Algorithm {
-	case AlgorithmMallows:
-		return rankers.Mallows{Theta: c.Theta, Samples: 1, Criterion: rankers.SelectFirst}, nil
-	case AlgorithmMallowsBest:
-		crit := rankers.SelectNDCG
-		switch c.Criterion {
-		case CriterionNDCG:
-		case CriterionKT:
-			crit = rankers.SelectKT
-		default:
-			return nil, fmt.Errorf("fairrank: unknown criterion %q", c.Criterion)
-		}
-		return rankers.Mallows{Theta: c.Theta, Samples: c.Samples, Criterion: crit}, nil
-	case AlgorithmDetConstSort:
-		return rankers.DetConstSort{Sigma: c.Sigma}, nil
-	case AlgorithmIPF:
-		return rankers.ApproxMultiValuedIPF{Sigma: c.Sigma}, nil
-	case AlgorithmGrBinary:
-		return rankers.GrBinaryIPF{}, nil
-	case AlgorithmILP:
-		return rankers.ILPRanker{Sigma: c.Sigma}, nil
-	case AlgorithmScoreSorted:
-		return rankers.ScoreSorted{}, nil
-	default:
-		return nil, fmt.Errorf("fairrank: unknown algorithm %q", c.Algorithm)
-	}
 }
 
 // Rank post-processes candidates into a fair ranking with the configured

@@ -68,9 +68,10 @@ type PlackettLuceNoise struct {
 // Name implements Noise.
 func (n PlackettLuceNoise) Name() string { return fmt.Sprintf("plackett-luce(s=%g)", n.Strength) }
 
-// Sampler implements Noise. The model is built over item ids with
-// weight e^{−Strength·(central rank)}, so drawing is a plain
-// Plackett–Luce sample (internal/pl, Gumbel-max trick).
+// Sampler implements Noise. The model has item weights
+// e^{−Strength·(central rank)}; drawing works directly on the
+// log-weights (internal/pl, Gumbel-max trick), so long rankings and
+// large strengths cannot underflow the tail weights to zero.
 func (n PlackettLuceNoise) Sampler(central perm.Perm) (func(*rand.Rand) perm.Perm, error) {
 	if err := central.Validate(); err != nil {
 		return nil, err
@@ -78,16 +79,11 @@ func (n PlackettLuceNoise) Sampler(central perm.Perm) (func(*rand.Rand) perm.Per
 	if math.IsNaN(n.Strength) || n.Strength < 0 {
 		return nil, fmt.Errorf("core: plackett-luce strength %v, want ≥ 0", n.Strength)
 	}
-	// scores[item] = −rank, so FromScores yields w = e^{−Strength·rank}.
-	scores := make([]float64, len(central))
+	logw := make([]float64, len(central))
 	for r, item := range central {
-		scores[item] = -float64(r)
+		logw[item] = -n.Strength * float64(r)
 	}
-	model, err := pl.FromScores(scores, n.Strength)
-	if err != nil {
-		return nil, err
-	}
-	return model.Sample, nil
+	return func(rng *rand.Rand) perm.Perm { return pl.SampleLogWeights(logw, rng) }, nil
 }
 
 // AdjacentSwapNoise applies Swaps uniformly random adjacent

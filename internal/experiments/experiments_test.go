@@ -323,8 +323,9 @@ func TestGermanBinary(t *testing.T) {
 	if fig.ID != "figE1" || len(fig.Panels) != 2 {
 		t.Fatalf("figE1 shape: %s, %d panels", fig.ID, len(fig.Panels))
 	}
+	// Five baseline arms plus the Plackett–Luce (§VI) arm.
 	for _, panel := range fig.Panels {
-		if len(panel.Series) != 5 {
+		if len(panel.Series) != 6 {
 			t.Fatalf("%q series = %d", panel.Title, len(panel.Series))
 		}
 	}

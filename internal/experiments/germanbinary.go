@@ -18,7 +18,8 @@ import (
 // can join the comparison. The figure reports, per ranking size, the
 // median PPfair w.r.t. Sex and the mean Kendall tau distance to the
 // initial ranking (the efficiency objective GrBinaryIPF optimizes) for
-// GrBinaryIPF, ApproxMultiValuedIPF, the ILP, and the Mallows arms.
+// GrBinaryIPF, ApproxMultiValuedIPF, the ILP, the Mallows arms, and a
+// Plackett–Luce arm (the §VI beyond-Mallows mechanism).
 func GermanBinary(cfg GermanConfig) (*Figure, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -35,6 +36,10 @@ func GermanBinary(cfg GermanConfig) (*Figure, error) {
 		rankers.ILPRanker{},
 		rankers.Mallows{Theta: theta, Samples: 1, Criterion: rankers.SelectFirst},
 		rankers.Mallows{Theta: theta, Samples: cfg.BestOf, Criterion: rankers.SelectKT},
+		// The beyond-Mallows arm (§VI): Plackett–Luce noise at the same
+		// concentration and best-of count, so the figure shows how the
+		// alternative mechanism trades fairness against KT efficiency.
+		rankers.PlackettLuce{Strength: theta, Samples: cfg.BestOf, Criterion: rankers.SelectKT},
 	}
 
 	fig := &Figure{

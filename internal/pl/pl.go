@@ -102,6 +102,26 @@ func (m *Model) Sample(rng *rand.Rand) perm.Perm {
 	return out
 }
 
+// SampleLogWeights draws one Plackett–Luce ranking by the Gumbel-max
+// trick directly from log-weights: item i gets utility logw[i] + Gumbel
+// noise and the ranking sorts utilities descending. Operating in log
+// space sidesteps the under/overflow of materializing w = e^{logw} —
+// e.g. exponentially decaying weights over long rankings, where the
+// tail weights round to zero and New would reject them.
+func SampleLogWeights(logw []float64, rng *rand.Rand) perm.Perm {
+	utilities := make([]float64, len(logw))
+	for i, lw := range logw {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		utilities[i] = lw - math.Log(-math.Log(u))
+	}
+	out := perm.Identity(len(logw))
+	sort.Slice(out, func(a, b int) bool { return utilities[out[a]] > utilities[out[b]] })
+	return out
+}
+
 // SampleN draws count independent rankings.
 func (m *Model) SampleN(count int, rng *rand.Rand) []perm.Perm {
 	out := make([]perm.Perm, count)

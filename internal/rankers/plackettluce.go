@@ -1,0 +1,43 @@
+package rankers
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// PlackettLuce is the §VI beyond-Mallows direction as a ranker: draw
+// Samples Plackett–Luce rankings whose item weights decay exponentially
+// with the rank in Initial (weight e^{−Strength·rank}, Gumbel-max
+// sampling) and keep the best under the criterion. Like Mallows it reads
+// neither Groups nor Bounds — the randomization stays attribute-blind.
+type PlackettLuce struct {
+	Strength  float64
+	Samples   int
+	Criterion MallowsCriterion
+}
+
+// Name implements Ranker.
+func (p PlackettLuce) Name() string {
+	return fmt.Sprintf("plackett-luce(s=%g,m=%d)", p.Strength, p.Samples)
+}
+
+// Rank implements Ranker.
+func (p PlackettLuce) Rank(in Instance, rng *rand.Rand) (perm.Perm, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	var crit core.Criterion
+	switch p.Criterion {
+	case SelectFirst:
+	case SelectNDCG:
+		crit = core.NDCGCriterion{Scores: in.Scores}
+	case SelectKT:
+		crit = core.KTCriterion{Reference: in.Initial}
+	default:
+		return nil, fmt.Errorf("rankers: unknown Plackett-Luce criterion %d", p.Criterion)
+	}
+	return core.PostProcessWith(in.Initial, core.PlackettLuceNoise{Strength: p.Strength}, p.Samples, crit, rng)
+}

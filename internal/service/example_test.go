@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
+	fairrank "repro"
 	"repro/internal/service"
 )
 
@@ -61,4 +63,46 @@ func ExampleService_rankBatch() {
 	// Output:
 	// item 0 top: x
 	// item 1 error: invalid request: empty candidate set
+}
+
+// The serving catalog is generated from the fairrank registry: a custom
+// Strategy registered through the public library API is immediately
+// cataloged by GET /v1/algorithms and servable by name, with no
+// serving-layer change.
+func ExampleCatalog() {
+	// Guarded so a repeated in-process run (go test -count=2) does not
+	// re-register; the registry is process-global, first wins.
+	if _, registered := fairrank.LookupAlgorithm("central-asis"); !registered {
+		fairrank.MustRegister(fairrank.AlgorithmInfo{
+			Name:          "central-asis",
+			Description:   "serve the central ranking unchanged (example strategy)",
+			Deterministic: true,
+		}, func(cfg fairrank.Config) (fairrank.Strategy, error) {
+			return fairrank.StrategyFunc(func(in *fairrank.Instance, _ *rand.Rand) ([]int, error) {
+				return in.Central(), nil
+			}), nil
+		})
+	}
+	for _, a := range service.Catalog().Algorithms {
+		if a.Name == "central-asis" {
+			fmt.Println("cataloged:", a.Name, "—", a.Description)
+		}
+	}
+	svc := service.New(service.Config{Workers: 2})
+	resp, err := svc.Rank(context.Background(), &service.RankRequest{
+		Candidates: []service.Candidate{
+			{ID: "x", Score: 1, Group: "a"},
+			{ID: "y", Score: 3, Group: "b"},
+			{ID: "z", Score: 2, Group: "a"},
+		},
+		Algorithm: "central-asis",
+		Central:   "score",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top:", resp.Ranking[0].ID)
+	// Output:
+	// cataloged: central-asis — serve the central ranking unchanged (example strategy)
+	// top: y
 }

@@ -3,11 +3,15 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
+
+	fairrank "repro"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -134,11 +138,122 @@ func TestHTTPAlgorithms(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
 		t.Fatal(err)
 	}
-	if len(cat.Algorithms) != 7 {
-		t.Errorf("%d algorithms listed, want 7", len(cat.Algorithms))
+	// The served catalog must mirror the registry exactly — derived, not
+	// hand-maintained — so registering an algorithm can never silently
+	// desynchronize it.
+	want := fairrank.Algorithms()
+	if len(cat.Algorithms) != len(want) {
+		t.Errorf("%d algorithms listed, registry has %d", len(cat.Algorithms), len(want))
 	}
-	if cat.Defaults.Algorithm != "mallows-best" || cat.Defaults.Samples != 15 {
+	served := map[string]bool{}
+	for _, a := range cat.Algorithms {
+		served[a.Name] = true
+	}
+	for _, a := range want {
+		if !served[a.Name] {
+			t.Errorf("registered algorithm %q missing from the served catalog", a.Name)
+		}
+	}
+	wantNoises := fairrank.Noises()
+	if len(cat.Noises) != len(wantNoises) {
+		t.Errorf("%d noises listed, registry has %d", len(cat.Noises), len(wantNoises))
+	}
+	if cat.Defaults.Algorithm != string(fairrank.DefaultAlgorithm) || cat.Defaults.Samples != fairrank.DefaultSamples {
 		t.Errorf("defaults = %+v", cat.Defaults)
+	}
+	if cat.Defaults.Noise != string(fairrank.NoiseMallows) {
+		t.Errorf("default noise = %q", cat.Defaults.Noise)
+	}
+}
+
+// A custom Strategy registered through fairrank.Register is servable
+// over HTTP and cataloged by GET /v1/algorithms with no serving-layer
+// change — the acceptance contract of the registry redesign.
+func TestHTTPCustomAlgorithm(t *testing.T) {
+	err := fairrank.Register(fairrank.AlgorithmInfo{
+		Name:          "test-http-reverse",
+		Description:   "central ranking reversed (HTTP test strategy)",
+		Deterministic: true,
+	}, func(cfg fairrank.Config) (fairrank.Strategy, error) {
+		return fairrank.StrategyFunc(func(in *fairrank.Instance, _ *rand.Rand) ([]int, error) {
+			c := in.Central()
+			for i, j := 0, len(c)-1; i < j; i, j = i+1, j-1 {
+				c[i], c[j] = c[j], c[i]
+			}
+			return c, nil
+		}), nil
+	})
+	// A repeated in-process run (go test -count=2) hits the duplicate
+	// guard; the first registration is identical and stays live.
+	if err != nil && !errors.Is(err, fairrank.ErrDuplicateAlgorithm) {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/rank", RankRequest{
+		Candidates: pool(12), Algorithm: "test-http-reverse", Seed: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out RankResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "test-http-reverse" || len(out.Ranking) != 12 {
+		t.Fatalf("response shape: %+v", out)
+	}
+	catResp, err := http.Get(srv.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer catResp.Body.Close()
+	var cat CatalogResponse
+	if err := json.NewDecoder(catResp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range cat.Algorithms {
+		if a.Name == "test-http-reverse" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered algorithm missing from GET /v1/algorithms")
+	}
+}
+
+// The noise axis is servable end to end: the wire field selects the
+// mechanism, the diagnostics echo it, and unknown names are 400s.
+func TestHTTPNoise(t *testing.T) {
+	srv := newTestServer(t)
+	req := RankRequest{Candidates: pool(16), Noise: "plackett-luce", Theta: ptr(0.4), Samples: ptr(5), Seed: 9}
+	resp, body := postJSON(t, srv.URL+"/v1/rank", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out RankResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Diagnostics.Noise != "plackett-luce" {
+		t.Errorf("diagnostics noise = %q", out.Diagnostics.Noise)
+	}
+	// Same request, same seed → same ranking, through the generic noise
+	// path too.
+	_, body2 := postJSON(t, srv.URL+"/v1/rank", req)
+	var out2 RankResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Ranking, out2.Ranking) {
+		t.Error("equal-seed plackett-luce requests diverged")
+	}
+	bad, badBody := postJSON(t, srv.URL+"/v1/rank", RankRequest{Candidates: pool(8), Noise: "fog"})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown noise: status %d, want 400", bad.StatusCode)
+	}
+	if !strings.Contains(string(badBody), "unknown noise") {
+		t.Errorf("unknown noise body %q does not name the failure", badBody)
 	}
 }
 

@@ -175,6 +175,7 @@ func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*
 		Theta:      req.Theta,
 		Samples:    req.Samples,
 		Criterion:  fairrank.Criterion(req.Criterion),
+		Noise:      fairrank.Noise(req.Noise),
 		Tolerance:  req.Tolerance,
 		TopK:       req.TopK,
 		Seed:       &req.Seed,
@@ -203,6 +204,7 @@ func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*
 			Samples:           d.Samples,
 			Tolerance:         d.Tolerance,
 			Seed:              d.Seed,
+			Noise:             string(d.Noise),
 			TopK:              d.TopK,
 			NDCG:              d.NDCG,
 			DrawsEvaluated:    d.DrawsEvaluated,
@@ -257,10 +259,16 @@ func (s *Service) validate(req *RankRequest) error {
 }
 
 // parallelism returns how many workers the request can actually use:
-// the best-of-m draw count for mallows-best (the only algorithm whose
-// sampling loop fans out), 1 for everything else.
+// the best-of-m draw count for the sampling algorithms whose loop fans
+// out (per the registry metadata), 1 for everything else — including
+// unknown algorithm names, which fail validation downstream.
 func parallelism(req *RankRequest) int {
-	if req.Algorithm != "" && req.Algorithm != string(fairrank.AlgorithmMallowsBest) {
+	name := req.Algorithm
+	if name == "" {
+		name = string(fairrank.DefaultAlgorithm)
+	}
+	info, ok := fairrank.LookupAlgorithm(name)
+	if !ok || !info.Sampling || !info.BestOf {
 		return 1
 	}
 	if req.Samples != nil {
@@ -345,59 +353,40 @@ func (s *Service) release(n int) {
 	}
 }
 
-// Catalog describes the rankable surface — every algorithm, central
-// ranking, and selection criterion the service accepts, with the value
-// each omitted field resolves to. GET /v1/algorithms serves it so
-// clients can introspect instead of hardcoding strings.
+// Catalog describes the rankable surface — every algorithm, noise
+// mechanism, central ranking, and selection criterion the service
+// accepts, with the value each omitted field resolves to. GET
+// /v1/algorithms serves it so clients can introspect instead of
+// hardcoding strings.
+//
+// The algorithm and noise sections are generated from the fairrank
+// registry at call time: anything registered through fairrank.Register
+// or fairrank.RegisterNoise is immediately servable and cataloged, with
+// no serving-layer edit.
 func Catalog() *CatalogResponse {
-	mallowsTunables := []string{"central", "theta", "tolerance", "weak_k", "seed"}
-	bestTunables := []string{"central", "criterion", "theta", "samples", "tolerance", "weak_k", "seed"}
-	constraintTunables := []string{"tolerance", "sigma", "seed"}
+	infos := fairrank.Algorithms()
+	algos := make([]AlgorithmInfo, len(infos))
+	for i, a := range infos {
+		algos[i] = AlgorithmInfo{
+			Name:           a.Name,
+			Description:    a.Description,
+			ReadsGroup:     !a.AttributeBlind,
+			AttributeBlind: a.AttributeBlind,
+			Deterministic:  a.Deterministic,
+			SupportsSigma:  a.SupportsSigma,
+			MinGroups:      a.MinGroups,
+			MaxGroups:      a.MaxGroups,
+			Tunables:       a.Tunables,
+		}
+	}
+	noiseInfos := fairrank.Noises()
+	noises := make([]OptionInfo, len(noiseInfos))
+	for i, n := range noiseInfos {
+		noises[i] = OptionInfo{Name: n.Name, Description: n.Description}
+	}
 	return &CatalogResponse{
-		Algorithms: []AlgorithmInfo{
-			{
-				Name:        string(fairrank.AlgorithmMallowsBest),
-				Description: "paper Algorithm 1: best of m Mallows draws around the central ranking",
-				ReadsGroup:  false,
-				Tunables:    bestTunables,
-			},
-			{
-				Name:        string(fairrank.AlgorithmMallows),
-				Description: "paper Algorithm 1 with m = 1 (a single Mallows draw)",
-				ReadsGroup:  false,
-				Tunables:    mallowsTunables,
-			},
-			{
-				Name:        string(fairrank.AlgorithmILP),
-				Description: "DCG-optimal (α,β)-fair ranking, paper §IV-B, solved exactly",
-				ReadsGroup:  true,
-				Tunables:    constraintTunables,
-			},
-			{
-				Name:        string(fairrank.AlgorithmDetConstSort),
-				Description: "Geyik et al., KDD'19 DetConstSort",
-				ReadsGroup:  true,
-				Tunables:    constraintTunables,
-			},
-			{
-				Name:        string(fairrank.AlgorithmIPF),
-				Description: "Wei et al., SIGMOD'22 ApproxMultiValuedIPF (footrule-optimal)",
-				ReadsGroup:  true,
-				Tunables:    constraintTunables,
-			},
-			{
-				Name:        string(fairrank.AlgorithmGrBinary),
-				Description: "Wei et al., SIGMOD'22 GrBinaryIPF (Kendall-tau-optimal, exactly two groups)",
-				ReadsGroup:  true,
-				Tunables:    []string{"tolerance", "seed"},
-			},
-			{
-				Name:        string(fairrank.AlgorithmScoreSorted),
-				Description: "sort by score (no-fairness baseline)",
-				ReadsGroup:  false,
-				Tunables:    nil,
-			},
-		},
+		Algorithms: algos,
+		Noises:     noises,
 		Centrals: []OptionInfo{
 			{Name: string(fairrank.CentralWeaklyFair), Description: "score order with the top-weak_k prefix adjusted to weak k-fairness"},
 			{Name: string(fairrank.CentralFairDCG), Description: "the DCG-optimal (α,β)-fair ranking (§IV-B program)"},
@@ -408,9 +397,10 @@ func Catalog() *CatalogResponse {
 			{Name: string(fairrank.CriterionKT), Description: "keep the sample closest to the central ranking in Kendall tau"},
 		},
 		Defaults: DefaultsInfo{
-			Algorithm: string(fairrank.AlgorithmMallowsBest),
+			Algorithm: string(fairrank.DefaultAlgorithm),
 			Central:   string(fairrank.CentralWeaklyFair),
 			Criterion: string(fairrank.CriterionNDCG),
+			Noise:     string(fairrank.NoiseMallows),
 			Theta:     1,
 			Samples:   fairrank.DefaultSamples,
 			Tolerance: 0.1,

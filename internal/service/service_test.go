@@ -50,6 +50,7 @@ func TestValidationErrors(t *testing.T) {
 		{"unknown algorithm", RankRequest{Candidates: pool(4), Algorithm: "quicksort"}, `unknown algorithm "quicksort"`},
 		{"unknown central", RankRequest{Candidates: pool(4), Central: "median"}, `unknown central ranking "median"`},
 		{"unknown criterion", RankRequest{Candidates: pool(4), Criterion: "vibes"}, `unknown criterion "vibes"`},
+		{"unknown noise", RankRequest{Candidates: pool(4), Noise: "fog"}, `unknown noise "fog"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -233,6 +234,8 @@ func TestParallelismBound(t *testing.T) {
 		{RankRequest{Algorithm: "score"}, 1},
 		{RankRequest{Algorithm: "ilp"}, 1},
 		{RankRequest{Algorithm: "mallows"}, 1},
+		{RankRequest{Algorithm: "pl-best", Samples: ptr(6)}, 6},
+		{RankRequest{Algorithm: "no-such-algorithm"}, 1},
 	}
 	for _, tc := range cases {
 		if got := parallelism(&tc.req); got != tc.want {

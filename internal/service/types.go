@@ -20,9 +20,8 @@ type RankRequest struct {
 	// Candidates is the pool to rank; must be nonempty with unique,
 	// nonempty IDs.
 	Candidates []Candidate `json:"candidates"`
-	// Algorithm names the post-processor (fairrank.Algorithm values:
-	// "mallows", "mallows-best", "detconstsort", "ipf", "grbinary",
-	// "ilp", "score"). Default "mallows-best".
+	// Algorithm names the post-processor: any name in the fairrank
+	// registry, as served by GET /v1/algorithms. Default "mallows-best".
 	Algorithm string `json:"algorithm,omitempty"`
 	// Central names the Mallows central ranking ("weak", "fair",
 	// "score"). Default "weak".
@@ -30,6 +29,11 @@ type RankRequest struct {
 	// Criterion names the best-of-m selection criterion ("ndcg", "kt").
 	// Default "ndcg".
 	Criterion string `json:"criterion,omitempty"`
+	// Noise names the randomization mechanism the sampling algorithms
+	// draw from: any name in the fairrank noise registry, as served by
+	// GET /v1/algorithms. Default "mallows". Algorithms that pin their
+	// own mechanism ignore it.
+	Noise string `json:"noise,omitempty"`
 	// Theta is the Mallows dispersion; must be ≥ 0 when given (0 draws
 	// uniformly random permutations). Default 1.
 	Theta *float64 `json:"theta,omitempty"`
@@ -94,6 +98,9 @@ type Diagnostics struct {
 	Samples   int     `json:"samples"`
 	Tolerance float64 `json:"tolerance"`
 	Seed      int64   `json:"seed"`
+	// Noise is the mechanism the request actually drew from; omitted
+	// for the deterministic algorithms, which draw nothing.
+	Noise string `json:"noise,omitempty"`
 	// TopK is the length of the returned ranking.
 	TopK int `json:"top_k"`
 	// NDCG is the full-ranking NDCG of the chosen ranking.
@@ -130,25 +137,44 @@ type BatchResponse struct {
 }
 
 // CatalogResponse answers GET /v1/algorithms: the supported algorithms,
-// central rankings, and selection criteria with their defaults, so
-// clients can introspect the rankable surface instead of hardcoding
-// strings.
+// noise mechanisms, central rankings, and selection criteria with their
+// defaults, so clients can introspect the rankable surface instead of
+// hardcoding strings. Algorithms and Noises are generated from the
+// fairrank registry — algorithms registered through fairrank.Register
+// appear here without any serving-layer change.
 type CatalogResponse struct {
 	Algorithms []AlgorithmInfo `json:"algorithms"`
+	Noises     []OptionInfo    `json:"noises"`
 	Centrals   []OptionInfo    `json:"centrals"`
 	Criteria   []OptionInfo    `json:"criteria"`
 	Defaults   DefaultsInfo    `json:"defaults"`
 }
 
-// AlgorithmInfo describes one post-processing algorithm.
+// AlgorithmInfo is the wire form of the fairrank registry metadata of
+// one post-processing algorithm.
 type AlgorithmInfo struct {
 	// Name is the wire value for the "algorithm" field.
 	Name string `json:"name"`
 	// Description summarizes the method and its source.
 	Description string `json:"description"`
 	// ReadsGroup reports whether the algorithm consumes the protected
-	// attribute (the Mallows mechanisms are attribute-blind).
+	// attribute; kept alongside AttributeBlind (its negation) for
+	// pre-registry clients.
 	ReadsGroup bool `json:"reads_group"`
+	// AttributeBlind reports that the algorithm never reads the
+	// protected attribute — the paper's robustness property.
+	AttributeBlind bool `json:"attribute_blind"`
+	// Deterministic reports that equal inputs yield equal rankings
+	// regardless of the seed (at sigma = 0 for the constraint-based
+	// algorithms).
+	Deterministic bool `json:"deterministic"`
+	// SupportsSigma reports that the algorithm honors the "sigma"
+	// constraint-noise field.
+	SupportsSigma bool `json:"supports_sigma"`
+	// MinGroups and MaxGroups bound the group counts the algorithm can
+	// rank; zero means unbounded on that side.
+	MinGroups int `json:"min_groups,omitempty"`
+	MaxGroups int `json:"max_groups,omitempty"`
 	// Tunables lists the request fields the algorithm responds to.
 	Tunables []string `json:"tunables"`
 }
@@ -165,6 +191,7 @@ type DefaultsInfo struct {
 	Algorithm string  `json:"algorithm"`
 	Central   string  `json:"central"`
 	Criterion string  `json:"criterion"`
+	Noise     string  `json:"noise"`
 	Theta     float64 `json:"theta"`
 	Samples   int     `json:"samples"`
 	Tolerance float64 `json:"tolerance"`

@@ -31,10 +31,17 @@ import (
 // A Ranker is safe for concurrent use by multiple goroutines; the caches
 // are shared and lock-free on the hot path.
 type Ranker struct {
-	cfg       Config
+	cfg Config
+	// entry is the registry entry of cfg.Algorithm, captured at
+	// construction: a Ranker's algorithm is fixed, so requests never
+	// touch the global registry (its lock included) on the hot path.
+	entry     algorithmEntry
 	states    sync.Map   // sizeKey → *sizeState
 	stateMu   sync.Mutex // serializes insert/evict; Load stays lock-free
 	numStates atomic.Int32
+	discMu    sync.Mutex // serializes discount insert/evict
+	discounts sync.Map   // n → []float64
+	numDiscs  atomic.Int32
 	rngs      sync.Pool
 }
 
@@ -53,11 +60,14 @@ type sizeKey struct {
 	theta float64
 }
 
-// sizeState is everything reusable across requests of one pool size.
+// sizeState is the Mallows-mechanism state reusable across requests of
+// one pool size and dispersion. The DCG discount table lives in its own
+// n-keyed cache (discountsFor): every mechanism and criterion shares it,
+// and generic-noise traffic with varied θ must not evict warm Mallows
+// tables it never samples from.
 type sizeState struct {
-	tables    *mallows.Tables
-	scratch   *perm.Pool
-	discounts []float64 // rank r (0-based) → DCG discount of rank r+1
+	tables  *mallows.Tables
+	scratch *perm.Pool
 }
 
 // NewRanker validates cfg and returns a reusable Ranker. Field semantics
@@ -66,8 +76,26 @@ type sizeState struct {
 // the legacy Rank).
 func NewRanker(cfg Config) (*Ranker, error) {
 	probe := cfg.withDefaults(1)
-	if _, err := probe.strategy(); err != nil {
+	entry, err := lookupEntry(probe.Algorithm)
+	if err != nil {
 		return nil, err
+	}
+	if entry.info.Sampling && entry.info.BestOf {
+		switch probe.Criterion {
+		case CriterionNDCG, CriterionKT:
+		default:
+			return nil, fmt.Errorf("fairrank: unknown criterion %q", probe.Criterion)
+		}
+	}
+	if entry.factory != nil {
+		// Let the factory validate the configuration now rather than on
+		// the first request.
+		if _, err := entry.factory(probe); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := LookupNoise(string(probe.Noise)); !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownNoise, probe.Noise)
 	}
 	switch probe.Central {
 	case CentralWeaklyFair, CentralFairDCG, CentralScoreOrder:
@@ -86,7 +114,7 @@ func NewRanker(cfg Config) (*Ranker, error) {
 	if math.IsNaN(cfg.Sigma) || cfg.Sigma < 0 {
 		return nil, fmt.Errorf("fairrank: constraint noise σ = %v, want ≥ 0", cfg.Sigma)
 	}
-	r := &Ranker{cfg: cfg}
+	r := &Ranker{cfg: cfg, entry: entry}
 	r.rngs.New = func() any { return rand.New(rand.NewSource(0)) }
 	return r, nil
 }
@@ -151,9 +179,10 @@ func (r *Ranker) model(in rankers.Instance, cfg Config) *mallows.Model {
 // criterion returns the sample-selection score function, arithmetic-
 // identical to core's NDCGCriterion/KTCriterion but with the discount
 // table cached and the IDCG hoisted out of the per-sample loop.
-func (r *Ranker) criterion(cfg Config, in rankers.Instance, st *sizeState) (func(perm.Perm) (float64, error), error) {
+func (r *Ranker) criterion(cfg Config, in rankers.Instance) (func(perm.Perm) (float64, error), error) {
 	switch cfg.Criterion {
 	case CriterionNDCG:
+		discounts := r.discountsFor(len(in.Initial))
 		idcg, err := quality.IDCG(in.Initial, in.Scores, len(in.Initial))
 		if err != nil {
 			return nil, err
@@ -161,7 +190,7 @@ func (r *Ranker) criterion(cfg Config, in rankers.Instance, st *sizeState) (func
 		return func(p perm.Perm) (float64, error) {
 			var dcg float64
 			for rk, item := range p {
-				dcg += in.Scores[item] * st.discounts[rk]
+				dcg += in.Scores[item] * discounts[rk]
 			}
 			if idcg == 0 {
 				return 1, nil
@@ -194,11 +223,7 @@ func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
 	if err != nil {
 		return nil, err
 	}
-	disc := make([]float64, n)
-	for rk := range disc {
-		disc[rk] = quality.LogDiscount(rk + 1)
-	}
-	st := &sizeState{tables: tab, scratch: perm.NewPool(n), discounts: disc}
+	st := &sizeState{tables: tab, scratch: perm.NewPool(n)}
 	r.stateMu.Lock()
 	defer r.stateMu.Unlock()
 	if v, ok := r.states.Load(key); ok {
@@ -216,6 +241,35 @@ func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
 	r.states.Store(key, st)
 	r.numStates.Add(1)
 	return st, nil
+}
+
+// discountsFor returns the cached DCG discount table of pool size n
+// (rank r, 0-based, → discount of rank r+1), building it on first use.
+// Keyed by n alone — all mechanisms, dispersions, and criteria share
+// it — and bounded like the size-state cache.
+func (r *Ranker) discountsFor(n int) []float64 {
+	if v, ok := r.discounts.Load(n); ok {
+		return v.([]float64)
+	}
+	disc := make([]float64, n)
+	for rk := range disc {
+		disc[rk] = quality.LogDiscount(rk + 1)
+	}
+	r.discMu.Lock()
+	defer r.discMu.Unlock()
+	if v, ok := r.discounts.Load(n); ok {
+		return v.([]float64)
+	}
+	if r.numDiscs.Load() >= maxSizeStates {
+		r.discounts.Range(func(k, _ any) bool {
+			r.discounts.Delete(k)
+			r.numDiscs.Add(-1)
+			return false // one eviction is enough
+		})
+	}
+	r.discounts.Store(n, disc)
+	r.numDiscs.Add(1)
+	return disc
 }
 
 // getRNG hands out a pooled RNG re-seeded for the request; equal seeds

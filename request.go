@@ -39,6 +39,10 @@ type Request struct {
 	// string inherits (no Criterion value is empty, so a string field
 	// carries no zero ambiguity).
 	Criterion Criterion
+	// Noise overrides Config.Noise when nonempty: the registered
+	// randomization mechanism the sampling algorithms draw from.
+	// Algorithms that pin their own mechanism ignore it.
+	Noise Noise
 	// Tolerance overrides Config.Tolerance (proportional-constraint
 	// slack); must be ≥ 0. 0 demands exact proportionality.
 	Tolerance *float64
@@ -76,6 +80,11 @@ type Diagnostics struct {
 	Samples   int
 	Tolerance float64
 	Seed      int64
+	// Noise is the randomization mechanism the request actually drew
+	// from (after resolving the algorithm's pinned mechanism and the
+	// request override); empty for the deterministic algorithms, which
+	// draw nothing.
+	Noise Noise
 	// TopK is the length of Result.Ranking (the pool size when the
 	// request set no truncation).
 	TopK int
@@ -134,6 +143,7 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	entry := r.entry
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -141,41 +151,79 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	if err := entry.info.checkGroups(in.Groups.NumGroups()); err != nil {
+		return nil, err
+	}
 	var (
 		out    perm.Perm
 		score  float64
 		scored bool
 		draws  int
+		noise  Noise
 	)
-	switch cfg.Algorithm {
-	case AlgorithmMallows, AlgorithmMallowsBest:
-		if workers > 0 && cfg.Algorithm == AlgorithmMallowsBest && cfg.Samples > 1 {
-			out, score, scored, err = r.sampleParallel(ctx, in, cfg, workers)
+	if entry.info.Sampling {
+		// The engine-managed Algorithm-1 family: best-of-m draws from
+		// the resolved noise mechanism around the central ranking, with
+		// cancellation between draws and optional parallel fan-out.
+		samples := 1
+		if entry.info.BestOf {
+			samples = cfg.Samples
+		}
+		noise = entry.info.Noise
+		if noise == "" {
+			noise = cfg.Noise
+		}
+		if noise == NoiseMallows {
+			// The default mechanism keeps its dedicated path: amortized
+			// (n, θ)-keyed insertion tables and pooled scratch buffers,
+			// bit-identical to the pre-registry engine.
+			if workers > 0 && samples > 1 {
+				out, score, scored, err = r.sampleParallel(ctx, in, cfg, samples, workers)
+			} else {
+				rng := r.getRNG(cfg.Seed)
+				out, score, scored, err = r.sampleSequential(ctx, in, cfg, samples, entry.info.BestOf, rng)
+				r.rngs.Put(rng)
+			}
 		} else {
-			rng := r.getRNG(cfg.Seed)
-			out, score, scored, err = r.sampleSequential(ctx, in, cfg, rng)
-			r.rngs.Put(rng)
+			sampler, serr := lookupSampler(noise)
+			if serr != nil {
+				return nil, serr
+			}
+			if workers > 0 && samples > 1 {
+				out, score, scored, err = r.noiseParallel(ctx, in, cfg, noise, sampler, samples, workers)
+			} else {
+				rng := r.getRNG(cfg.Seed)
+				out, score, scored, err = r.noiseSequential(ctx, in, cfg, noise, sampler, samples, entry.info.BestOf, rng)
+				r.rngs.Put(rng)
+			}
 		}
 		if err != nil {
 			return nil, err
 		}
-		draws = 1
-		if cfg.Algorithm == AlgorithmMallowsBest {
-			draws = cfg.Samples
-		}
-	default:
-		strat, serr := cfg.strategy()
+		draws = samples
+	} else {
+		strat, serr := entry.factory(cfg)
 		if serr != nil {
 			return nil, serr
 		}
 		rng := r.getRNG(cfg.Seed)
-		out, err = strat.Rank(in, rng)
+		idx, rerr := strat.Rank(&Instance{in: in}, rng)
 		r.rngs.Put(rng)
-		if err != nil {
-			return nil, fmt.Errorf("fairrank: %s: %w", strat.Name(), err)
+		if rerr != nil {
+			return nil, fmt.Errorf("fairrank: %s: %w", entry.info.Name, rerr)
+		}
+		out = perm.Perm(idx)
+		// Validate Strategy output uniformly: a defective (possibly
+		// third-party) strategy must surface as an error, never as a
+		// corrupted ranking or an out-of-range panic in the audit.
+		if len(out) != len(in.Initial) {
+			return nil, fmt.Errorf("fairrank: %s: returned %d indices for %d candidates", entry.info.Name, len(out), len(in.Initial))
+		}
+		if err := out.Validate(); err != nil {
+			return nil, fmt.Errorf("fairrank: %s: invalid ranking: %w", entry.info.Name, err)
 		}
 	}
-	diag, err := diagnose(in, cfg, out, topK, score, scored, draws)
+	diag, err := diagnose(in, cfg, out, topK, score, scored, draws, noise)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +260,12 @@ func (r *Ranker) resolve(req Request) (Config, int, error) {
 		}
 		cfg.Criterion = req.Criterion
 	}
+	if req.Noise != "" {
+		if _, ok := LookupNoise(string(req.Noise)); !ok {
+			return Config{}, 0, fmt.Errorf("%w %q", ErrUnknownNoise, req.Noise)
+		}
+		cfg.Noise = req.Noise
+	}
 	if req.Tolerance != nil {
 		if math.IsNaN(*req.Tolerance) || *req.Tolerance < 0 {
 			return Config{}, 0, fmt.Errorf("fairrank: request tolerance %v, want ≥ 0", *req.Tolerance)
@@ -233,11 +287,11 @@ func (r *Ranker) resolve(req Request) (Config, int, error) {
 	return cfg, topK, nil
 }
 
-// sampleSequential runs the amortized best-of-m loop on one RNG stream:
-// same draws and selection as the pre-Request engine, bit for bit, plus
-// a cancellation check between draws. It returns the chosen ranking and,
-// when a selection criterion ran, its winning score.
-func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+// sampleSequential runs the amortized best-of-m Mallows loop on one RNG
+// stream: same draws and selection as the pre-registry engine, bit for
+// bit, plus a cancellation check between draws. It returns the chosen
+// ranking and, when a selection criterion ran, its winning score.
+func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, false, err
 	}
@@ -249,11 +303,11 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 	cur, best := st.scratch.Get(), st.scratch.Get()
 	defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
 	best = model.SampleInto(st.tables, best, rng)
-	if cfg.Algorithm == AlgorithmMallows {
+	if !bestOf {
 		// Algorithm 1 with m = 1: keep the first (only) draw.
 		return best.Clone(), 0, false, nil
 	}
-	score, err := r.criterion(cfg, in, st)
+	score, err := r.criterion(cfg, in)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -261,7 +315,7 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 	if err != nil {
 		return nil, 0, false, err
 	}
-	for i := 1; i < cfg.Samples; i++ {
+	for i := 1; i < samples; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, false, err
 		}
@@ -280,11 +334,145 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 	return best.Clone(), bestScore, true, nil
 }
 
+// noiseSequential is sampleSequential for every mechanism beyond the
+// amortized Mallows path: it builds the draw function from the noise
+// registry and runs the same best-of-m selection on one RNG stream.
+// Every draw is validated, so a defective (possibly third-party)
+// mechanism surfaces as an error instead of corrupting the selection.
+func (r *Ranker) noiseSequential(ctx context.Context, in rankers.Instance, cfg Config, noise Noise, sampler NoiseSampler, samples int, bestOf bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	draw, err := sampler(in.Initial, cfg.Theta)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("fairrank: noise %q: %w", noise, err)
+	}
+	next := func() (perm.Perm, error) { return checkedDraw(noise, draw, len(in.Initial), rng) }
+	best, err := next()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !bestOf {
+		return best, 0, false, nil
+	}
+	score, err := r.criterion(cfg, in)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	bestScore, err := score(best)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := 1; i < samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, err
+		}
+		cur, err := next()
+		if err != nil {
+			return nil, 0, false, err
+		}
+		v, err := score(cur)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if v > bestScore {
+			best, bestScore = cur, v
+		}
+	}
+	return best, bestScore, true, nil
+}
+
+// checkedDraw takes one draw from a registered noise mechanism and
+// validates it as a full permutation of the pool.
+func checkedDraw(noise Noise, draw func(*rand.Rand) []int, n int, rng *rand.Rand) (perm.Perm, error) {
+	p := perm.Perm(draw(rng))
+	if len(p) != n {
+		return nil, fmt.Errorf("fairrank: noise %q: drew %d indices for %d candidates", noise, len(p), n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fairrank: noise %q: invalid draw: %w", noise, err)
+	}
+	return p, nil
+}
+
+// noiseParallel fans the generic-noise best-of-m draws over up to
+// workers goroutines with the same per-draw derived RNG streams as
+// sampleParallel: the result depends only on the resolved seed, never
+// on the worker count. The registered draw function is shared across
+// workers (the NoiseSampler contract requires concurrency safety).
+func (r *Ranker) noiseParallel(ctx context.Context, in rankers.Instance, cfg Config, noise Noise, sampler NoiseSampler, samples, workers int) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	score, err := r.criterion(cfg, in)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	draw, err := sampler(in.Initial, cfg.Theta)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("fairrank: noise %q: %w", noise, err)
+	}
+	if workers > samples {
+		workers = samples
+	}
+	type drawResult struct {
+		score float64
+		idx   int
+		p     perm.Perm
+		err   error
+	}
+	results := make([]drawResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * samples / workers
+		hi := (w + 1) * samples / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := r.rngs.Get().(*rand.Rand)
+			defer r.rngs.Put(rng)
+			local := drawResult{idx: -1}
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					results[w] = drawResult{err: err}
+					return
+				}
+				rng.Seed(mixSeed(cfg.Seed, i))
+				cur, err := checkedDraw(noise, draw, len(in.Initial), rng)
+				if err != nil {
+					results[w] = drawResult{err: err}
+					return
+				}
+				v, err := score(cur)
+				if err != nil {
+					results[w] = drawResult{err: err}
+					return
+				}
+				if local.idx < 0 || v > local.score {
+					local = drawResult{score: v, idx: i, p: cur}
+				}
+			}
+			results[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	winner := drawResult{idx: -1}
+	for _, d := range results {
+		if d.err != nil {
+			return nil, 0, false, d.err
+		}
+		if winner.idx < 0 || d.score > winner.score || (d.score == winner.score && d.idx < winner.idx) {
+			winner = d
+		}
+	}
+	return winner.p, winner.score, true, nil
+}
+
 // sampleParallel fans the best-of-m draws over up to workers goroutines.
 // Draw i uses its own RNG seeded by mixSeed(seed, i) and score ties
 // break toward the lowest i, so the result depends only on the resolved
 // seed, never on the worker count. Each worker checks ctx between draws.
-func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, workers int) (perm.Perm, float64, bool, error) {
+func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, workers int) (perm.Perm, float64, bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, false, err
 	}
@@ -292,13 +480,13 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 	if err != nil {
 		return nil, 0, false, err
 	}
-	score, err := r.criterion(cfg, in, st)
+	score, err := r.criterion(cfg, in)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	model := r.model(in, cfg)
-	if workers > cfg.Samples {
-		workers = cfg.Samples
+	if workers > samples {
+		workers = samples
 	}
 	type draw struct {
 		score float64
@@ -310,8 +498,8 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		// Contiguous index chunks: worker w owns draws [lo, hi).
-		lo := w * cfg.Samples / workers
-		hi := (w + 1) * cfg.Samples / workers
+		lo := w * samples / workers
+		hi := (w + 1) * samples / workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -360,7 +548,7 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 // best-of-m loop computed one. One O(n·groups) violation scan audits
 // both PPfair and the infeasible index; NDCG and the central Kendall tau
 // are reused from the selection criterion when it already computed them.
-func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score float64, scored bool, draws int) (Diagnostics, error) {
+func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score float64, scored bool, draws int, noise Noise) (Diagnostics, error) {
 	d := Diagnostics{
 		Algorithm:      cfg.Algorithm,
 		Central:        cfg.Central,
@@ -369,6 +557,7 @@ func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score fl
 		Samples:        cfg.Samples,
 		Tolerance:      cfg.Tolerance,
 		Seed:           cfg.Seed,
+		Noise:          noise,
 		TopK:           topK,
 		DrawsEvaluated: draws,
 	}
