@@ -1,32 +1,62 @@
-// Command datagen emits the synthetic German Credit dataset used by the
-// experiments: 1000 records whose Age–Sex × Housing joint distribution
-// matches the paper's Table I exactly, with lognormal credit amounts.
+// Command datagen emits synthetic datasets.
 //
-// Usage:
+// By default it generates the German Credit dataset used by the
+// experiments: 1000 records whose Age–Sex × Housing joint distribution
+// matches the paper's Table I exactly, with lognormal credit amounts:
 //
 //	datagen [-seed 1] [-out german_credit.csv]
+//
+// With -scenario it instead materializes one synthetic ranking workload
+// from a scenario corpus (internal/scenario) as a fairrank candidate
+// CSV — the same corpora, loaded by the same resolver, that
+// fairrank-soak replays over HTTP, so a soak workload can be inspected
+// or piped straight into the fairrank CLI:
+//
+//	datagen -corpus soak -scenario soak-1k-gaussian | fairrank -algorithm mallows-best
+//	datagen -corpus my-corpus.json -scenario g3-skewed
+//	datagen -corpus soak -list
 //
 // With -out "-" (the default) the CSV goes to stdout.
 package main
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
 
+	"repro/internal/candidatecsv"
 	"repro/internal/dataset"
+	"repro/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
-	seed := flag.Int64("seed", 1, "generator seed")
+	seed := flag.Int64("seed", 1, "generator seed (German Credit mode only; scenario specs carry their own)")
 	out := flag.String("out", "-", `output path ("-" for stdout)`)
+	corpus := flag.String("corpus", "soak", "scenario corpus: a built-in name or a JSON corpus file (shared with fairrank-soak)")
+	spec := flag.String("scenario", "", "emit this scenario from -corpus as a candidate CSV instead of German Credit")
+	list := flag.Bool("list", false, "list the specs of -corpus and exit")
 	flag.Parse()
 
-	ds := dataset.SyntheticGermanCredit(rand.New(rand.NewSource(*seed)))
-	w := os.Stdout
+	// -list is handled before -out is opened: opening (and truncating)
+	// an output file a listing will never write to would destroy it.
+	if *list {
+		specs, err := scenario.LoadCorpus(*corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range specs {
+			fmt.Printf("%s\tn=%d groups=%d scores=%s ordering=%s\n",
+				s.Name, s.N, s.Groups, orDefault(string(s.Scores), string(scenario.ScoresUniform)), orDefault(string(s.Ordering), string(scenario.OrderRandom)))
+		}
+		return
+	}
+
+	w := io.Writer(os.Stdout)
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -35,7 +65,39 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	if *spec != "" {
+		specs, err := scenario.LoadCorpus(*corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := scenario.Find(specs, *spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands, err := s.Generate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var extra []string
+		if s.ShadowGroups >= 2 {
+			extra = []string{"shadow"}
+		}
+		if err := candidatecsv.WritePool(w, cands, extra); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ds := dataset.SyntheticGermanCredit(rand.New(rand.NewSource(*seed)))
 	if err := ds.WriteCSV(w); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
 }

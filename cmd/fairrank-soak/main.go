@@ -1,0 +1,445 @@
+// Command fairrank-soak load-tests a fairrankd server by replaying
+// synthetic scenario corpora (internal/scenario) against it: concurrent
+// clients mixing the single and batch ranking endpoints, with optional
+// client-cancellation injection, recording latency percentiles and
+// throughput as JSON lines in the BENCH artifact format.
+//
+// Point it at a running server:
+//
+//	fairrank-soak -addr http://localhost:8080 -corpus soak -requests 2000 -concurrency 16
+//
+// or let it spawn the serving stack in-process (no orchestration — the
+// CI smoke path):
+//
+//	fairrank-soak -spawn -corpus smoke -requests 200 -out BENCH_pr.json
+//
+// -corpus accepts a built-in corpus name (see internal/scenario) or a
+// JSON corpus file, the same loader cmd/datagen uses. Requests are
+// deterministic: request i carries seed -seed+i, so a soak run is
+// replayable and two runs against correct servers rank identically.
+//
+// Output is appended to -out as one JSON object per line with
+// "Action": "soak" (one line per endpoint) and "Action": "soak-summary"
+// (one line per run), so the lines coexist with a `go test -json`
+// stream in the same BENCH file.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairrank-soak: ")
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the fairrankd server under test")
+	spawn := flag.Bool("spawn", false, "serve in-process instead of targeting -addr (self-contained smoke runs)")
+	corpus := flag.String("corpus", "soak", "built-in corpus name or JSON corpus file (shared with datagen); see internal/scenario")
+	requests := flag.Int("requests", 200, "total requests to send")
+	duration := flag.Duration("duration", 0, "if > 0, keep sending until this much time has passed (overrides -requests)")
+	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
+	algorithms := flag.String("algorithms", string(service.Catalog().Defaults.Algorithm), "comma-separated algorithms to rotate through")
+	topK := flag.Int("topk", 10, "top_k per request (bounds response size on large pools); 0 requests full rankings")
+	batchEvery := flag.Int("batch-every", 10, "every k-th request goes to /v1/rank/batch (0 disables batches)")
+	batchSize := flag.Int("batch-size", 4, "entries per batch request")
+	cancelFrac := flag.Float64("cancel", 0, "fraction of requests cancelled client-side mid-flight (injection)")
+	cancelAfter := flag.Duration("cancel-after", 2*time.Millisecond, "cancellation delay for injected cancels")
+	maxN := flag.Int("max-n", 0, "skip corpus specs with more than this many candidates (0 = no cap)")
+	seed := flag.Int64("seed", 1, "base seed; request i carries seed+i")
+	out := flag.String("out", "-", `append JSON lines here ("-" for stdout)`)
+	flag.Parse()
+
+	specs, err := scenario.LoadCorpus(*corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxN > 0 {
+		kept := specs[:0]
+		for _, s := range specs {
+			if s.N <= *maxN {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+	}
+	if len(specs) == 0 {
+		log.Fatalf("corpus %q has no usable specs", *corpus)
+	}
+	if *concurrency < 1 || *requests < 1 || *batchSize < 1 {
+		log.Fatalf("-concurrency, -requests, and -batch-size must be ≥ 1")
+	}
+	if *cancelFrac < 0 || *cancelFrac > 1 {
+		log.Fatalf("-cancel = %v, want within [0, 1]", *cancelFrac)
+	}
+	if *cancelAfter < 0 {
+		log.Fatalf("-cancel-after = %v, want ≥ 0", *cancelAfter)
+	}
+
+	base := *addr
+	if *spawn {
+		srv := httptest.NewServer(service.NewHandler(service.New(service.Config{})))
+		defer srv.Close()
+		base = srv.URL
+		log.Printf("spawned in-process server at %s", base)
+	}
+
+	targets, err := buildTargets(specs, strings.Split(*algorithms, ","), *topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := &soakRun{
+		base:        base,
+		client:      &http.Client{Timeout: 5 * time.Minute},
+		targets:     targets,
+		batchEvery:  *batchEvery,
+		batchSize:   *batchSize,
+		cancelFrac:  *cancelFrac,
+		cancelAfter: *cancelAfter,
+		seed:        *seed,
+	}
+	log.Printf("replaying corpus %q (%d specs) against %s: %d workers", *corpus, len(specs), base, *concurrency)
+	summary := run.execute(*concurrency, *requests, *duration)
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run.report(w, *corpus, summary); err != nil {
+		log.Fatal(err)
+	}
+	if summary.Failures > 0 {
+		log.Fatalf("%d requests failed (excluding the %d injected cancellations)", summary.Failures, summary.Cancelled)
+	}
+	log.Printf("%d requests in %.2fs (%.1f req/s), %d injected cancellations, 0 failures",
+		summary.Requests, summary.WallSeconds, summary.ThroughputRPS, summary.Cancelled)
+}
+
+// target is one pre-encoded (spec, algorithm) request template: the
+// candidates are marshaled once per spec, so the load generator's own
+// JSON encoding cost stays off the measured hot path as far as possible.
+type target struct {
+	spec       scenario.Spec
+	algorithm  string
+	candidates json.RawMessage
+	topK       int
+}
+
+// wireRequest mirrors service.RankRequest with pre-encoded candidates.
+type wireRequest struct {
+	Candidates json.RawMessage `json:"candidates"`
+	Algorithm  string          `json:"algorithm,omitempty"`
+	TopK       *int            `json:"top_k,omitempty"`
+	Seed       int64           `json:"seed"`
+}
+
+type wireBatch struct {
+	Requests []wireRequest `json:"requests"`
+}
+
+func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]target, error) {
+	var out []target
+	for _, spec := range specs {
+		pool, err := spec.Generate()
+		if err != nil {
+			return nil, err
+		}
+		cands := make([]service.Candidate, len(pool))
+		for i, c := range pool {
+			cands[i] = service.Candidate{ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
+		}
+		raw, err := json.Marshal(cands)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algorithms {
+			algo = strings.TrimSpace(algo)
+			if algo == "" {
+				continue
+			}
+			out = append(out, target{spec: spec, algorithm: algo, candidates: raw, topK: topK})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no (spec, algorithm) targets — empty -algorithms?")
+	}
+	return out, nil
+}
+
+// sample is one measured request.
+type sample struct {
+	endpoint  string
+	latency   time.Duration
+	cancelled bool
+	failure   string // empty on success
+}
+
+type soakRun struct {
+	base        string
+	client      *http.Client
+	targets     []target
+	batchEvery  int
+	batchSize   int
+	cancelFrac  float64
+	cancelAfter time.Duration
+	seed        int64
+
+	mu      sync.Mutex
+	samples []sample
+}
+
+// Summary is the run-level soak result, serialized as the
+// "soak-summary" line.
+type Summary struct {
+	Action        string  `json:"Action"`
+	Corpus        string  `json:"Corpus"`
+	Target        string  `json:"Target"`
+	Workers       int     `json:"Workers"`
+	Requests      int     `json:"Requests"`
+	Cancelled     int     `json:"Cancelled"`
+	Failures      int     `json:"Failures"`
+	WallSeconds   float64 `json:"WallSeconds"`
+	ThroughputRPS float64 `json:"ThroughputRPS"`
+}
+
+// EndpointReport is the per-endpoint soak result, serialized as one
+// "soak" line each.
+type EndpointReport struct {
+	Action       string  `json:"Action"`
+	Corpus       string  `json:"Corpus"`
+	Endpoint     string  `json:"Endpoint"`
+	Requests     int     `json:"Requests"`
+	Cancelled    int     `json:"Cancelled"`
+	Failures     int     `json:"Failures"`
+	LatencyMsP50 float64 `json:"LatencyMsP50"`
+	LatencyMsP90 float64 `json:"LatencyMsP90"`
+	LatencyMsP99 float64 `json:"LatencyMsP99"`
+	LatencyMsMax float64 `json:"LatencyMsMax"`
+}
+
+func (r *soakRun) execute(workers, requests int, duration time.Duration) Summary {
+	var next atomic.Int64
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+		requests = int(^uint(0) >> 1) // duration decides, not the count
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.seed + int64(w)*7919))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests || (!deadline.IsZero() && time.Now().After(deadline)) {
+					return
+				}
+				r.record(r.send(i, rng))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := Summary{Action: "soak-summary", Target: r.base, Workers: workers}
+	for _, s := range r.samples {
+		sum.Requests++
+		if s.cancelled {
+			sum.Cancelled++
+		} else if s.failure != "" {
+			sum.Failures++
+			log.Printf("failure on %s: %s", s.endpoint, s.failure)
+		}
+	}
+	sum.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		sum.ThroughputRPS = float64(sum.Requests) / wall.Seconds()
+	}
+	return sum
+}
+
+func (r *soakRun) record(s sample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.mu.Unlock()
+}
+
+// send issues request i: a batch when i hits the batch cadence, a
+// single rank otherwise, optionally with an injected client-side
+// cancellation.
+func (r *soakRun) send(i int, rng *rand.Rand) sample {
+	tgt := r.targets[i%len(r.targets)]
+	endpoint, body := "/v1/rank", r.singleBody(tgt, i)
+	isBatch := r.batchEvery > 0 && i%r.batchEvery == r.batchEvery-1
+	if isBatch {
+		endpoint, body = "/v1/rank/batch", r.batchBody(tgt, i)
+	}
+	ctx := context.Background()
+	injected := r.cancelFrac > 0 && rng.Float64() < r.cancelFrac
+	if injected {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Int63n(int64(r.cancelAfter)+1)))
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return sample{endpoint: endpoint, failure: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	latency := time.Since(start)
+	if err != nil {
+		if injected && ctx.Err() != nil {
+			return sample{endpoint: endpoint, latency: latency, cancelled: true}
+		}
+		return sample{endpoint: endpoint, latency: latency, failure: err.Error()}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if injected && ctx.Err() != nil {
+			return sample{endpoint: endpoint, latency: latency, cancelled: true}
+		}
+		return sample{endpoint: endpoint, latency: latency, failure: err.Error()}
+	}
+	if injected && (resp.StatusCode == 499 || ctx.Err() != nil) {
+		return sample{endpoint: endpoint, latency: latency, cancelled: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sample{endpoint: endpoint, latency: latency, failure: fmt.Sprintf("status %d: %s", resp.StatusCode, truncate(payload))}
+	}
+	if msg := checkPayload(isBatch, payload, tgt, r.batchSize); msg != "" {
+		return sample{endpoint: endpoint, latency: latency, failure: msg}
+	}
+	return sample{endpoint: endpoint, latency: latency}
+}
+
+func (r *soakRun) singleBody(tgt target, i int) []byte {
+	w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Seed: r.seed + int64(i)}
+	if tgt.topK > 0 {
+		k := tgt.topK
+		w.TopK = &k
+	}
+	b, _ := json.Marshal(w)
+	return b
+}
+
+func (r *soakRun) batchBody(tgt target, i int) []byte {
+	batch := wireBatch{Requests: make([]wireRequest, r.batchSize)}
+	for j := range batch.Requests {
+		w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Seed: r.seed + int64(i)*1000 + int64(j)}
+		if tgt.topK > 0 {
+			k := tgt.topK
+			w.TopK = &k
+		}
+		batch.Requests[j] = w
+	}
+	b, _ := json.Marshal(batch)
+	return b
+}
+
+// checkPayload sanity-checks a 200 response: a soak run that happily
+// measures the latency of garbage is worse than none.
+func checkPayload(isBatch bool, payload []byte, tgt target, batchSize int) string {
+	wantLen := tgt.spec.N
+	if tgt.topK > 0 && tgt.topK < wantLen {
+		wantLen = tgt.topK
+	}
+	if isBatch {
+		var b service.BatchResponse
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return "undecodable batch response: " + err.Error()
+		}
+		if len(b.Items) != batchSize {
+			return fmt.Sprintf("batch returned %d items, want %d", len(b.Items), batchSize)
+		}
+		for _, item := range b.Items {
+			if item.Error != "" {
+				return "batch item error: " + item.Error
+			}
+			if len(item.Response.Ranking) != wantLen {
+				return fmt.Sprintf("batch item ranked %d candidates, want %d", len(item.Response.Ranking), wantLen)
+			}
+		}
+		return ""
+	}
+	var resp service.RankResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return "undecodable response: " + err.Error()
+	}
+	if len(resp.Ranking) != wantLen {
+		return fmt.Sprintf("ranked %d candidates, want %d", len(resp.Ranking), wantLen)
+	}
+	return ""
+}
+
+// report appends the per-endpoint lines and the summary line to w.
+func (r *soakRun) report(w io.Writer, corpus string, sum Summary) error {
+	sum.Corpus = corpus
+	enc := json.NewEncoder(w)
+	byEndpoint := map[string][]sample{}
+	for _, s := range r.samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+	}
+	for _, endpoint := range []string{"/v1/rank", "/v1/rank/batch"} {
+		ss := byEndpoint[endpoint]
+		if len(ss) == 0 {
+			continue
+		}
+		rep := EndpointReport{Action: "soak", Corpus: corpus, Endpoint: endpoint}
+		var lat []float64
+		for _, s := range ss {
+			rep.Requests++
+			switch {
+			case s.cancelled:
+				rep.Cancelled++
+			case s.failure != "":
+				rep.Failures++
+			default:
+				lat = append(lat, float64(s.latency)/float64(time.Millisecond))
+			}
+		}
+		if len(lat) > 0 {
+			rep.LatencyMsP50 = stats.Quantile(lat, 0.50)
+			rep.LatencyMsP90 = stats.Quantile(lat, 0.90)
+			rep.LatencyMsP99 = stats.Quantile(lat, 0.99)
+			rep.LatencyMsMax = stats.Max(lat)
+		}
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(sum)
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}

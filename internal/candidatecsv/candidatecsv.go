@@ -49,6 +49,30 @@ func Read(r io.Reader) ([]fairrank.Candidate, []string, error) {
 	return out, extra, nil
 }
 
+// WritePool renders candidates in the input format Read parses (header
+// id,score,group plus the extra attribute columns) — the inverse of
+// Read, used to materialize generated pools as CLI input.
+func WritePool(w io.Writer, pool []fairrank.Candidate, extra []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"id", "score", "group"}, extra...)); err != nil {
+		return fmt.Errorf("candidatecsv: %w", err)
+	}
+	for _, c := range pool {
+		row := []string{c.ID, strconv.FormatFloat(c.Score, 'g', -1, 64), c.Group}
+		for _, name := range extra {
+			row = append(row, c.Attrs[name])
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("candidatecsv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("candidatecsv: %w", err)
+	}
+	return nil
+}
+
 // Write renders ranked candidates with a 1-based rank column, echoing
 // the extra attribute columns in the given order.
 func Write(w io.Writer, ranked []fairrank.Candidate, extra []string) error {

@@ -2,6 +2,7 @@ package candidatecsv
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -85,5 +86,30 @@ func TestReadWritePipeline(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 5 {
 		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestWritePoolRoundTrip(t *testing.T) {
+	pool := []fairrank.Candidate{
+		{ID: "x", Score: 3.25, Group: "a", Attrs: map[string]string{"city": "oslo"}},
+		{ID: "y", Score: 1, Group: "b", Attrs: map[string]string{"city": "bergen"}},
+	}
+	var buf bytes.Buffer
+	if err := WritePool(&buf, pool, []string{"city"}); err != nil {
+		t.Fatal(err)
+	}
+	want := "id,score,group,city\nx,3.25,a,oslo\ny,1,b,bergen\n"
+	if buf.String() != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	back, extra, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("WritePool output does not Read back: %v", err)
+	}
+	if len(extra) != 1 || extra[0] != "city" {
+		t.Fatalf("extra columns %v, want [city]", extra)
+	}
+	if !reflect.DeepEqual(back, pool) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, pool)
 	}
 }

@@ -1,0 +1,222 @@
+package conformance
+
+// The negative suite: deliberately defective strategies and mechanisms,
+// registered under the "test:" prefix (so registry-derived runs skip
+// them), must be flagged with actionable violation reports. This is the
+// proof that a green conformance run means something.
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	fairrank "repro"
+	"repro/internal/scenario"
+)
+
+var registerBroken sync.Once
+
+// brokenNames returns the registry entries of the negative suite,
+// registering them on first use.
+func brokenInfos(t *testing.T) map[string]fairrank.AlgorithmInfo {
+	t.Helper()
+	registerBroken.Do(func() {
+		// Claims exact fairness and near-ideal quality, delivers the
+		// reverse of the central ranking: both floors must trip.
+		fairrank.MustRegister(fairrank.AlgorithmInfo{
+			Name:           "test:broken-unfair",
+			Description:    "negative-test strategy: reverses the central ranking while advertising high floors",
+			AttributeBlind: true,
+			Deterministic:  true,
+			Guarantees:     fairrank.Guarantees{MinMeanPPfair: 95, MinMeanNDCG: 0.95},
+		}, func(cfg fairrank.Config) (fairrank.Strategy, error) {
+			return fairrank.StrategyFunc(func(in *fairrank.Instance, rng *rand.Rand) ([]int, error) {
+				c := in.Central()
+				for i, j := 0, len(c)-1; i < j; i, j = i+1, j-1 {
+					c[i], c[j] = c[j], c[i]
+				}
+				return c, nil
+			}), nil
+		})
+		// Claims determinism, shuffles with the engine RNG: the
+		// determinism-flag check must trip.
+		fairrank.MustRegister(fairrank.AlgorithmInfo{
+			Name:          "test:broken-claims-deterministic",
+			Description:   "negative-test strategy: claims Deterministic but shuffles per seed",
+			Deterministic: true,
+		}, func(cfg fairrank.Config) (fairrank.Strategy, error) {
+			return fairrank.StrategyFunc(func(in *fairrank.Instance, rng *rand.Rand) ([]int, error) {
+				c := in.Central()
+				rng.Shuffle(len(c), func(i, j int) { c[i], c[j] = c[j], c[i] })
+				return c, nil
+			}), nil
+		})
+		// Returns a non-permutation: the engine rejects every draw, so
+		// the report must carry a draw-error.
+		fairrank.MustRegister(fairrank.AlgorithmInfo{
+			Name:        "test:broken-invalid",
+			Description: "negative-test strategy: returns duplicate indices",
+		}, func(cfg fairrank.Config) (fairrank.Strategy, error) {
+			return fairrank.StrategyFunc(func(in *fairrank.Instance, rng *rand.Rand) ([]int, error) {
+				return make([]int, in.N()), nil
+			}), nil
+		})
+		// A noise mechanism whose θ = 0 is not uniform (it always
+		// returns the central): the uniform-limit check must trip.
+		fairrank.MustRegisterNoise(fairrank.NoiseInfo{
+			Name:        "test:broken-constant-noise",
+			Description: "negative-test mechanism: ignores θ and returns the central unchanged",
+		}, func(central []int, theta float64) (func(*rand.Rand) []int, error) {
+			return func(rng *rand.Rand) []int {
+				return append([]int(nil), central...)
+			}, nil
+		})
+	})
+	out := map[string]fairrank.AlgorithmInfo{}
+	for _, name := range []string{"test:broken-unfair", "test:broken-claims-deterministic", "test:broken-invalid"} {
+		info, ok := fairrank.LookupAlgorithm(name)
+		if !ok {
+			t.Fatalf("negative-suite algorithm %q not registered", name)
+		}
+		out[name] = info
+	}
+	return out
+}
+
+// violationsBy indexes a report's violations by check.
+func violationsBy(rep *Report) map[Check][]Violation {
+	out := map[Check][]Violation{}
+	for _, v := range rep.Violations {
+		out[v.Check] = append(out[v.Check], v)
+	}
+	return out
+}
+
+func TestBrokenStrategyFailsFloors(t *testing.T) {
+	infos := brokenInfos(t)
+	rep, err := Run(context.Background(), Config{
+		Draws:      20,
+		Algorithms: []fairrank.AlgorithmInfo{infos["test:broken-unfair"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("a strategy delivering the reverse of its advertised behavior passed conformance")
+	}
+	by := violationsBy(rep)
+	if len(by[CheckPPfairFloor]) == 0 {
+		t.Error("no ppfair-floor violation for a maximally unfair strategy")
+	}
+	if len(by[CheckNDCGFloor]) == 0 {
+		t.Error("no ndcg-floor violation for a quality-destroying strategy")
+	}
+	// The report must be actionable: name the pair, the workload, the
+	// observed-vs-bound gap, and what to change.
+	for _, v := range append(by[CheckPPfairFloor], by[CheckNDCGFloor]...) {
+		if v.Algorithm != "test:broken-unfair" || v.Scenario == "" {
+			t.Errorf("violation lacks its pair/scenario coordinates: %+v", v)
+		}
+		if v.CI == nil || v.Bound == 0 {
+			t.Errorf("violation lacks its statistical evidence: %+v", v)
+		}
+		if !strings.Contains(v.Detail, "AlgorithmInfo.Guarantees") {
+			t.Errorf("violation detail is not actionable: %q", v.Detail)
+		}
+	}
+	// And it must not cry wolf on the checks the strategy honors: the
+	// reversal is deterministic and seed-clean.
+	if len(by[CheckDeterminismFlag]) != 0 || len(by[CheckSeedReproducibility]) != 0 {
+		t.Errorf("spurious determinism/reproducibility violations: %v", rep.Violations)
+	}
+}
+
+func TestBrokenDeterminismClaimIsFlagged(t *testing.T) {
+	infos := brokenInfos(t)
+	rep, err := Run(context.Background(), Config{
+		Draws:      10,
+		Algorithms: []fairrank.AlgorithmInfo{infos["test:broken-claims-deterministic"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := violationsBy(rep)
+	if len(by[CheckDeterminismFlag]) == 0 {
+		t.Fatalf("a seed-dependent strategy claiming Deterministic passed; violations: %v", rep.Violations)
+	}
+	if d := by[CheckDeterminismFlag][0].Detail; !strings.Contains(d, "Deterministic") {
+		t.Errorf("determinism violation detail is not actionable: %q", d)
+	}
+}
+
+func TestBrokenOutputIsFlagged(t *testing.T) {
+	infos := brokenInfos(t)
+	rep, err := Run(context.Background(), Config{
+		Draws:      5,
+		Algorithms: []fairrank.AlgorithmInfo{infos["test:broken-invalid"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := violationsBy(rep)
+	if len(by[CheckDrawError]) == 0 {
+		t.Fatalf("a strategy returning non-permutations passed; violations: %v", rep.Violations)
+	}
+	if d := by[CheckDrawError][0].Detail; !strings.Contains(d, "replay") && !strings.Contains(d, "failed") {
+		t.Errorf("draw-error detail carries no reproduction hint: %q", d)
+	}
+}
+
+func TestBrokenNoiseFailsUniformLimit(t *testing.T) {
+	brokenInfos(t) // ensure the noise is registered
+	info, ok := fairrank.LookupAlgorithm(string(fairrank.AlgorithmMallows))
+	if !ok {
+		t.Skip("mallows not registered")
+	}
+	noise, ok := fairrank.LookupNoise("test:broken-constant-noise")
+	if !ok {
+		t.Fatal("negative-suite noise not registered")
+	}
+	specs, err := scenario.Corpus("conformance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		Draws:      40,
+		Algorithms: []fairrank.AlgorithmInfo{info},
+		Noises:     []fairrank.NoiseInfo{noise},
+		Scenarios:  specs[:1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := violationsBy(rep)
+	if len(by[CheckUniformLimit]) == 0 {
+		t.Fatalf("a constant 'noise' mechanism passed the θ=0 uniform-limit check; violations: %v", rep.Violations)
+	}
+	if d := by[CheckUniformLimit][0].Detail; !strings.Contains(d, "θ=0") {
+		t.Errorf("uniform-limit detail is not actionable: %q", d)
+	}
+}
+
+// TestRegistryDerivedRunsSkipTestEntries: once the negative suite has
+// registered its broken strategies, a registry-derived run must still
+// be green — the "test:" convention keeps throwaway entries out.
+func TestRegistryDerivedRunsSkipTestEntries(t *testing.T) {
+	brokenInfos(t)
+	specs, err := scenario.Corpus("conformance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{Draws: 10, Scenarios: specs[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Pairs {
+		if strings.HasPrefix(p.Algorithm, testPrefix) || strings.HasPrefix(p.Noise, testPrefix) {
+			t.Errorf("registry-derived run picked up test entry %s×%s", p.Algorithm, p.Noise)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Check names one conformance property. Every Violation carries the
+// Check it failed, so reports are machine-filterable by property.
+type Check string
+
+// The checks the kit runs. Which of them apply to an algorithm×noise
+// pair is derived from the pair's registry metadata (capability flags
+// and Guarantees); see Run.
+const (
+	// CheckDrawError: a draw (or the ranker's construction) returned an
+	// error — a defective strategy, noise mechanism, or factory.
+	CheckDrawError Check = "draw-error"
+	// CheckValidity: a returned ranking was not a valid truncated
+	// permutation of the pool, or the diagnostics contradicted the
+	// registry metadata (e.g. a deterministic algorithm reporting
+	// noise draws).
+	CheckValidity Check = "validity"
+	// CheckSeedReproducibility: re-running a sweep with the same seed
+	// observed a different ranking sequence — the strategy draws
+	// entropy outside the engine-provided RNG.
+	CheckSeedReproducibility Check = "seed-reproducibility"
+	// CheckDeterminismFlag: the registry's Deterministic flag is
+	// dishonest — a deterministic algorithm varied across seeds, or a
+	// randomized one never did.
+	CheckDeterminismFlag Check = "determinism-flag"
+	// CheckPPfairFloor: the mean PPfair confidence interval sits
+	// entirely below the algorithm's advertised Guarantees.MinMeanPPfair.
+	CheckPPfairFloor Check = "ppfair-floor"
+	// CheckNDCGFloor: the mean NDCG confidence interval sits entirely
+	// below the advertised Guarantees.MinMeanNDCG.
+	CheckNDCGFloor Check = "ndcg-floor"
+	// CheckKTConcentration: at θ = 1 a sampling algorithm's rankings
+	// are not concentrated around the central ranking (mean Kendall tau
+	// confidently above half the uniform expectation).
+	CheckKTConcentration Check = "kt-concentration"
+	// CheckUniformLimit: at θ = 0 (and best-of disabled) a sampling
+	// algorithm's noise mechanism is not uniform — the mean Kendall tau
+	// to the central strays from n(n−1)/4 beyond sampling error.
+	CheckUniformLimit Check = "uniform-limit"
+)
+
+// Violation is one failed check, self-describing enough to act on: the
+// registry pair and scenario that failed, the observed statistic against
+// its bound, and a Detail string with the reproduction recipe.
+type Violation struct {
+	Algorithm string          `json:"algorithm"`
+	Noise     string          `json:"noise,omitempty"`
+	Scenario  string          `json:"scenario,omitempty"`
+	Check     Check           `json:"check"`
+	Observed  float64         `json:"observed"`
+	Bound     float64         `json:"bound"`
+	CI        *stats.Interval `json:"ci,omitempty"`
+	Detail    string          `json:"detail"`
+}
+
+func (v Violation) String() string {
+	where := v.Algorithm
+	if v.Noise != "" {
+		where += "×" + v.Noise
+	}
+	if v.Scenario != "" {
+		where += " on " + v.Scenario
+	}
+	return fmt.Sprintf("[%s] %s: %s", v.Check, where, v.Detail)
+}
+
+// ScenarioReport is the measured behavior of one algorithm×noise pair
+// on one scenario: the confidence intervals the checks judged, plus any
+// violations.
+type ScenarioReport struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	Groups   int    `json:"groups"`
+	Draws    int    `json:"draws"`
+	// MeanPPfair and MeanNDCG are bootstrap confidence intervals of the
+	// mean PPfair (over the audited prefix) and mean full-ranking NDCG.
+	MeanPPfair stats.Interval `json:"mean_ppfair"`
+	MeanNDCG   stats.Interval `json:"mean_ndcg"`
+	// MeanCentralKT is the bootstrap CI of the mean Kendall tau to the
+	// central ranking; UniformMeanKT is the uniform-distribution
+	// expectation n(n−1)/4 it is judged against. Sampling pairs only.
+	MeanCentralKT *stats.Interval `json:"mean_central_kt,omitempty"`
+	UniformMeanKT float64         `json:"uniform_mean_kt,omitempty"`
+	// UniformLimitKT is the mean Kendall tau of the θ = 0 sweep
+	// (sampling pairs only) — the uniform-limit check's observation.
+	UniformLimitKT float64 `json:"uniform_limit_kt,omitempty"`
+
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// PairReport is one algorithm×noise pair across every applicable
+// scenario.
+type PairReport struct {
+	Algorithm string `json:"algorithm"`
+	// Noise is the effective mechanism of the pair: the crossed or
+	// pinned noise for sampling algorithms, empty for algorithms that
+	// draw nothing.
+	Noise     string           `json:"noise,omitempty"`
+	Scenarios []ScenarioReport `json:"scenarios"`
+}
+
+// Report is the machine-readable outcome of a conformance run.
+type Report struct {
+	// Draws, Confidence, AuditTopK, and Seed echo the resolved run
+	// configuration, so a stored report says what it proved.
+	Draws      int     `json:"draws"`
+	Confidence float64 `json:"confidence"`
+	AuditTopK  int     `json:"audit_top_k"`
+	Seed       int64   `json:"seed"`
+
+	Pairs []PairReport `json:"pairs"`
+	// Violations flattens every scenario's violations, worst first in
+	// enumeration order; empty means the registry conforms.
+	Violations []Violation `json:"violations"`
+}
+
+// Failed reports whether any check failed.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders a one-line human summary.
+func (r *Report) Summary() string {
+	pairs := len(r.Pairs)
+	scenarios := 0
+	for _, p := range r.Pairs {
+		scenarios += len(p.Scenarios)
+	}
+	return fmt.Sprintf("conformance: %d pairs over %d pair×scenario runs, %d draws each: %d violations",
+		pairs, scenarios, r.Draws, len(r.Violations))
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The built-in corpora. Each is a named, versioned-in-code suite of
+// specs; Corpus returns fresh copies so callers can mutate freely.
+//
+//   - "conformance": moderate pools crossing every generator axis — the
+//     statistical suite samples hundreds of rankings per spec, so the
+//     pools stay small enough to keep the suite fast.
+//   - "sweep": a group-count sweep at fixed n, isolating the group axis.
+//   - "smoke": two small specs for CI soak smoke runs.
+//   - "soak": the load-generator corpus, from hundreds of candidates up
+//     to n = 100000.
+var builtinCorpora = map[string][]Spec{
+	"conformance": {
+		{Name: "g2-balanced-uniform", N: 40, Groups: 2, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 101},
+		{Name: "g2-skewed-gaussian-adversarial", N: 40, Groups: 2, Proportions: []float64{0.8, 0.2}, Scores: ScoresGaussian, Ordering: OrderAdversarial, Seed: 102},
+		{Name: "g2-minority-bottom-tied", N: 24, Groups: 2, Proportions: []float64{0.75, 0.25}, Scores: ScoresTied, Ordering: OrderAdversarial, Seed: 103},
+		{Name: "g3-balanced-heavytail", N: 48, Groups: 3, Scores: ScoresHeavyTail, Ordering: OrderRandom, Seed: 104},
+		{Name: "g4-skewed-tied-adversarial", N: 48, Groups: 4, Proportions: []float64{0.55, 0.25, 0.12, 0.08}, Scores: ScoresTied, Ordering: OrderAdversarial, Seed: 105},
+		{Name: "g5-balanced-gaussian-shadow", N: 60, Groups: 5, Scores: ScoresGaussian, Ordering: OrderRandom, ShadowGroups: 2, Seed: 106},
+	},
+	"sweep": {
+		{Name: "sweep-g2", N: 64, Groups: 2, Seed: 201},
+		{Name: "sweep-g3", N: 64, Groups: 3, Seed: 202},
+		{Name: "sweep-g4", N: 64, Groups: 4, Seed: 203},
+		{Name: "sweep-g5", N: 64, Groups: 5, Seed: 204},
+		{Name: "sweep-g6", N: 64, Groups: 6, Seed: 205},
+		{Name: "sweep-g8", N: 64, Groups: 8, Seed: 206},
+	},
+	"smoke": {
+		{Name: "smoke-small", N: 50, Groups: 2, Proportions: []float64{0.7, 0.3}, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 301},
+		{Name: "smoke-adversarial", N: 200, Groups: 3, Scores: ScoresGaussian, Ordering: OrderAdversarial, Seed: 302},
+	},
+	"soak": {
+		{Name: "soak-100-uniform", N: 100, Groups: 2, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 401},
+		{Name: "soak-1k-gaussian", N: 1000, Groups: 3, Proportions: []float64{0.6, 0.3, 0.1}, Scores: ScoresGaussian, Ordering: OrderRandom, Seed: 402},
+		{Name: "soak-1k-adversarial", N: 1000, Groups: 2, Proportions: []float64{0.85, 0.15}, Scores: ScoresHeavyTail, Ordering: OrderAdversarial, Seed: 403},
+		{Name: "soak-10k-tied", N: 10000, Groups: 4, Scores: ScoresTied, Ordering: OrderRandom, Seed: 404},
+		{Name: "soak-100k-uniform", N: 100000, Groups: 5, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 405},
+	},
+}
+
+// Corpus returns a copy of the named built-in corpus.
+func Corpus(name string) ([]Spec, error) {
+	specs, ok := builtinCorpora[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown corpus %q, have %v", name, CorpusNames())
+	}
+	out := make([]Spec, len(specs))
+	for i, s := range specs {
+		s.Proportions = append([]float64(nil), s.Proportions...)
+		out[i] = s
+	}
+	return out, nil
+}
+
+// CorpusNames lists the built-in corpora, sorted.
+func CorpusNames() []string {
+	names := make([]string, 0, len(builtinCorpora))
+	for name := range builtinCorpora {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Find returns the named spec from a corpus.
+func Find(specs []Spec, name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range specs {
+		names = append(names, s.Name)
+	}
+	return Spec{}, fmt.Errorf("scenario: no spec %q in corpus, have %v", name, names)
+}

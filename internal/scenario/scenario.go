@@ -1,0 +1,313 @@
+// Package scenario generates deterministic synthetic ranking workloads
+// for the conformance suite (internal/conformance), the soak generator
+// (cmd/fairrank-soak), and ad-hoc experimentation (cmd/datagen). A Spec
+// fully determines its candidate pool: equal specs (seed included)
+// generate byte-identical pools, so a conformance violation or a soak
+// regression names a Spec and is reproducible from the report alone.
+//
+// The generator covers the axes the paper's evaluation varies and the
+// failure modes ranking post-processors are known to have:
+//
+//   - group structure: 2..k groups, balanced or skewed proportions;
+//   - score shape: uniform, gaussian, heavy-tail, and heavily tied
+//     distributions (ties exercise unstable sort/selection paths);
+//   - score↔group correlation: random assignment, or the adversarial
+//     all-minority-at-bottom ordering where every minority candidate
+//     scores below every majority candidate;
+//   - scale: pools from tens of candidates up to n = 100000.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	fairrank "repro"
+)
+
+// ScoreDist names a score distribution.
+type ScoreDist string
+
+// The available score distributions. All produce finite, non-negative
+// scores (NDCG treats scores as gains, so negatives are out of scope).
+const (
+	// ScoresUniform draws scores uniformly from [0, 100).
+	ScoresUniform ScoreDist = "uniform"
+	// ScoresGaussian draws from N(50, 15²), clamped at 0.
+	ScoresGaussian ScoreDist = "gaussian"
+	// ScoresHeavyTail draws from a Pareto distribution (x_m = 1,
+	// α = 1.2): a few candidates dominate the total gain, stressing the
+	// NDCG criterion and quality/fairness trade-offs.
+	ScoresHeavyTail ScoreDist = "heavy-tail"
+	// ScoresTied draws from five discrete levels {0, 10, 20, 30, 40},
+	// producing massive ties — the regime where unstable ordering bugs
+	// and nondeterministic tie-breaking surface.
+	ScoresTied ScoreDist = "tied"
+)
+
+// Ordering names the score↔group correlation of the generated pool.
+type Ordering string
+
+// The available orderings.
+const (
+	// OrderRandom assigns groups independently of scores.
+	OrderRandom Ordering = "random"
+	// OrderAdversarial sorts groups by size (largest first) and hands
+	// the best scores to the largest group: every candidate of a
+	// smaller group scores below every candidate of a larger one. This
+	// is the all-minority-at-bottom worst case for proportional prefix
+	// fairness — a score-sorted ranking violates every early prefix.
+	OrderAdversarial Ordering = "adversarial"
+)
+
+// Spec is one synthetic workload. The JSON form is the corpus wire
+// format shared by the CLIs (see ReadCorpus/WriteCorpus).
+type Spec struct {
+	// Name identifies the scenario in corpora, conformance reports, and
+	// soak output. Required, unique within a corpus.
+	Name string `json:"name"`
+	// N is the candidate-pool size; must be ≥ 1.
+	N int `json:"n"`
+	// Groups is the number of distinct protected groups; must be ≥ 1
+	// and ≤ N.
+	Groups int `json:"groups"`
+	// Proportions optionally skews the group sizes: Proportions[g] is
+	// group g's share of the pool. When set it must have exactly Groups
+	// positive entries; they are normalized, and every group is
+	// guaranteed at least one candidate. Empty means equal shares.
+	Proportions []float64 `json:"proportions,omitempty"`
+	// Scores picks the score distribution; defaults to ScoresUniform.
+	Scores ScoreDist `json:"scores,omitempty"`
+	// Ordering picks the score↔group correlation; defaults to
+	// OrderRandom.
+	Ordering Ordering `json:"ordering,omitempty"`
+	// ShadowGroups, when ≥ 2, attaches a hidden attribute
+	// Attrs["shadow"] with that many uniformly random values — the
+	// paper's "unknown protected attribute" axis, for PPfairByAttr
+	// evaluation. 0 attaches nothing.
+	ShadowGroups int `json:"shadow_groups,omitempty"`
+	// Seed seeds the generator; equal specs generate identical pools.
+	Seed int64 `json:"seed"`
+}
+
+// Validate rejects specs Generate cannot honor.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	if s.N < 1 {
+		return fmt.Errorf("scenario %q: n = %d, want ≥ 1", s.Name, s.N)
+	}
+	if s.Groups < 1 || s.Groups > s.N {
+		return fmt.Errorf("scenario %q: groups = %d, want 1..n (n = %d)", s.Name, s.Groups, s.N)
+	}
+	if len(s.Proportions) != 0 {
+		if len(s.Proportions) != s.Groups {
+			return fmt.Errorf("scenario %q: %d proportions for %d groups", s.Name, len(s.Proportions), s.Groups)
+		}
+		for g, p := range s.Proportions {
+			if !(p > 0) {
+				return fmt.Errorf("scenario %q: proportion[%d] = %v, want > 0", s.Name, g, p)
+			}
+		}
+	}
+	switch s.Scores {
+	case "", ScoresUniform, ScoresGaussian, ScoresHeavyTail, ScoresTied:
+	default:
+		return fmt.Errorf("scenario %q: unknown score distribution %q", s.Name, s.Scores)
+	}
+	switch s.Ordering {
+	case "", OrderRandom, OrderAdversarial:
+	default:
+		return fmt.Errorf("scenario %q: unknown ordering %q", s.Name, s.Ordering)
+	}
+	if s.ShadowGroups == 1 || s.ShadowGroups < 0 {
+		return fmt.Errorf("scenario %q: shadow_groups = %d, want 0 or ≥ 2", s.Name, s.ShadowGroups)
+	}
+	return nil
+}
+
+// Generate materializes the candidate pool. The pool depends only on
+// the spec: equal specs yield identical pools, across processes and
+// runs. Generation is O(n log n), so n = 100000 pools are cheap enough
+// to build per soak run rather than shipping fixtures.
+func (s Spec) Generate() ([]fairrank.Candidate, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	scores := make([]float64, s.N)
+	for i := range scores {
+		scores[i] = drawScore(s.Scores, rng)
+	}
+	sizes := groupSizes(s.N, s.Groups, s.Proportions)
+	labels := make([]int, 0, s.N)
+	for g, size := range sizes {
+		for j := 0; j < size; j++ {
+			labels = append(labels, g)
+		}
+	}
+	switch s.Ordering {
+	case OrderAdversarial:
+		// Hand the best scores to the largest groups: sort the scores
+		// descending and lay the group blocks over them largest first,
+		// so every smaller group sits strictly below every larger one.
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		order := make([]int, s.Groups)
+		for g := range order {
+			order[g] = g
+		}
+		sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+		labels = labels[:0]
+		for _, g := range order {
+			for j := 0; j < sizes[g]; j++ {
+				labels = append(labels, g)
+			}
+		}
+	default: // OrderRandom
+		rng.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	}
+	out := make([]fairrank.Candidate, s.N)
+	for i := range out {
+		out[i] = fairrank.Candidate{
+			ID:    fmt.Sprintf("c%06d", i),
+			Score: scores[i],
+			Group: groupName(labels[i]),
+		}
+		if s.ShadowGroups >= 2 {
+			out[i].Attrs = map[string]string{"shadow": fmt.Sprintf("s%02d", rng.Intn(s.ShadowGroups))}
+		}
+	}
+	return out, nil
+}
+
+// drawScore draws one score from the named distribution.
+func drawScore(dist ScoreDist, rng *rand.Rand) float64 {
+	switch dist {
+	case ScoresGaussian:
+		v := 50 + 15*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		return v
+	case ScoresHeavyTail:
+		// Pareto(x_m = 1, α = 1.2) via inverse transform. 1−U keeps the
+		// draw away from the U = 0 pole.
+		u := 1 - rng.Float64()
+		return math.Pow(u, -1/1.2)
+	case ScoresTied:
+		return float64(rng.Intn(5)) * 10
+	default: // ScoresUniform
+		return rng.Float64() * 100
+	}
+}
+
+// groupSizes splits n candidates over the groups by largest remainder,
+// guaranteeing every group at least one candidate.
+func groupSizes(n, groups int, proportions []float64) []int {
+	shares := make([]float64, groups)
+	if len(proportions) == 0 {
+		for g := range shares {
+			shares[g] = 1 / float64(groups)
+		}
+	} else {
+		var total float64
+		for _, p := range proportions {
+			total += p
+		}
+		for g, p := range proportions {
+			shares[g] = p / total
+		}
+	}
+	sizes := make([]int, groups)
+	type rem struct {
+		g    int
+		frac float64
+	}
+	rems := make([]rem, groups)
+	assigned := 0
+	for g, sh := range shares {
+		exact := sh * float64(n)
+		sizes[g] = int(exact)
+		rems[g] = rem{g: g, frac: exact - float64(sizes[g])}
+		assigned += sizes[g]
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; assigned < n; i++ {
+		sizes[rems[i%groups].g]++
+		assigned++
+	}
+	// Every group must be represented, or the pool silently has fewer
+	// groups than the spec promises; steal from the largest.
+	for g := range sizes {
+		for sizes[g] == 0 {
+			big := 0
+			for h := range sizes {
+				if sizes[h] > sizes[big] {
+					big = h
+				}
+			}
+			sizes[big]--
+			sizes[g]++
+		}
+	}
+	return sizes
+}
+
+// groupName renders group id g; zero-padded so lexical group-name order
+// (what fairrank sorts by) matches numeric order.
+func groupName(g int) string { return fmt.Sprintf("g%02d", g) }
+
+// ReadCorpus parses a JSON corpus: an array of Specs. Names must be
+// present and unique, and every spec must validate.
+func ReadCorpus(r io.Reader) ([]Spec, error) {
+	var specs []Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("scenario: parsing corpus: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario: empty corpus")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("scenario: duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return specs, nil
+}
+
+// WriteCorpus renders specs as the JSON corpus format ReadCorpus parses.
+func WriteCorpus(w io.Writer, specs []Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(specs); err != nil {
+		return fmt.Errorf("scenario: writing corpus: %w", err)
+	}
+	return nil
+}
+
+// LoadCorpus resolves nameOrPath as a built-in corpus name first and a
+// JSON corpus file second — the shared corpus loader of cmd/fairrank-soak
+// and cmd/datagen, so both CLIs accept the same -corpus values.
+func LoadCorpus(nameOrPath string) ([]Spec, error) {
+	if specs, err := Corpus(nameOrPath); err == nil {
+		return specs, nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %q is neither a built-in corpus (%v) nor a readable corpus file: %w", nameOrPath, CorpusNames(), err)
+	}
+	defer f.Close()
+	return ReadCorpus(f)
+}

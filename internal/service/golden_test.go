@@ -1,0 +1,140 @@
+package service
+
+// Golden-file tests for the HTTP wire format: the exact bytes of
+// canonical /v1/rank, /v1/rank/batch, and /v1/algorithms responses are
+// pinned under testdata/, so any wire change — a renamed field, a
+// reordered struct, a float formatting shift, a new catalog entry —
+// shows up as a reviewable golden diff instead of silently reaching
+// clients. After an intentional change, regenerate with:
+//
+//	go test ./internal/service -run TestGolden -update
+//
+// and review the diff like any other code change.
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the observed responses")
+
+// goldenBody serves one request against the full HTTP stack and
+// compares the response bytes to testdata/<name>.golden.
+func goldenBody(t *testing.T, name, method, path, body string) {
+	t.Helper()
+	h := NewHandler(New(Config{Workers: 2}))
+	var reqBody *strings.Reader
+	if body == "" {
+		reqBody = strings.NewReader("")
+	} else {
+		reqBody = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, reqBody)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s %s returned %d: %s", method, path, rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s Content-Type = %q, want application/json", method, path, ct)
+	}
+	got := rec.Body.Bytes()
+	goldenPath := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s %s wire format changed.\n--- want (%s)\n%s\n--- got\n%s\nIf the change is intentional, regenerate with -update and review the diff.",
+			method, path, goldenPath, want, got)
+	}
+}
+
+// goldenRankBody is a canonical request touching every response
+// feature: overrides, top-k truncation, attrs echo, and diagnostics.
+const goldenRankBody = `{
+  "candidates": [
+    {"id": "ava",   "score": 9.5, "group": "f", "attrs": {"region": "north"}},
+    {"id": "bo",    "score": 9.0, "group": "m"},
+    {"id": "cy",    "score": 8.0, "group": "f"},
+    {"id": "dee",   "score": 7.5, "group": "m"},
+    {"id": "eli",   "score": 6.0, "group": "m"},
+    {"id": "fran",  "score": 5.0, "group": "f"},
+    {"id": "gus",   "score": 4.0, "group": "m"},
+    {"id": "hana",  "score": 3.0, "group": "f"}
+  ],
+  "algorithm": "mallows-best",
+  "theta": 1.5,
+  "samples": 7,
+  "tolerance": 0.2,
+  "top_k": 5,
+  "seed": 42
+}`
+
+func TestGoldenRank(t *testing.T) {
+	goldenBody(t, "rank", http.MethodPost, "/v1/rank", goldenRankBody)
+}
+
+func TestGoldenRankBatch(t *testing.T) {
+	// Two entries that succeed plus one that fails validation, pinning
+	// the independent-failure item shape on the wire.
+	body := `{
+  "requests": [
+    {
+      "candidates": [
+        {"id": "a", "score": 3, "group": "x"},
+        {"id": "b", "score": 2, "group": "y"},
+        {"id": "c", "score": 1, "group": "x"}
+      ],
+      "algorithm": "score",
+      "seed": 1
+    },
+    {
+      "candidates": [
+        {"id": "a", "score": 1, "group": "x"},
+        {"id": "b", "score": 2, "group": "y"}
+      ],
+      "algorithm": "detconstsort",
+      "seed": 2
+    },
+    {
+      "candidates": [],
+      "seed": 3
+    }
+  ]
+}`
+	goldenBody(t, "rank_batch", http.MethodPost, "/v1/rank/batch", body)
+}
+
+func TestGoldenAlgorithms(t *testing.T) {
+	// The catalog is generated from the live registry; the golden file
+	// therefore also pins the registry metadata of every built-in. A
+	// deliberate registration change regenerates this file — that diff
+	// is the reviewable record of the catalog change.
+	//
+	// Other tests in this binary register throwaway "test…" algorithms.
+	// In the default file order they run after this one; under -shuffle
+	// they may not, and a polluted registry cannot match the pristine
+	// golden — skip rather than fail on an ordering artifact.
+	for _, a := range Catalog().Algorithms {
+		if strings.HasPrefix(a.Name, "test") {
+			t.Skipf("registry already holds test-registered entry %q; the catalog golden needs the pristine registry", a.Name)
+		}
+	}
+	goldenBody(t, "algorithms", http.MethodGet, "/v1/algorithms", "")
+}

@@ -377,6 +377,8 @@ func Catalog() *CatalogResponse {
 			MinGroups:      a.MinGroups,
 			MaxGroups:      a.MaxGroups,
 			Tunables:       a.Tunables,
+			MinMeanPPfair:  a.Guarantees.MinMeanPPfair,
+			MinMeanNDCG:    a.Guarantees.MinMeanNDCG,
 		}
 	}
 	noiseInfos := fairrank.Noises()

@@ -177,6 +177,12 @@ type AlgorithmInfo struct {
 	MaxGroups int `json:"max_groups,omitempty"`
 	// Tunables lists the request fields the algorithm responds to.
 	Tunables []string `json:"tunables"`
+	// MinMeanPPfair and MinMeanNDCG echo the registry's advertised
+	// statistical guarantees — the floors the conformance suite holds
+	// the algorithm to (see fairrank.Guarantees for the measurement
+	// protocol). 0 means no promise on that axis.
+	MinMeanPPfair float64 `json:"min_mean_ppfair,omitempty"`
+	MinMeanNDCG   float64 `json:"min_mean_ndcg,omitempty"`
 }
 
 // OptionInfo describes one named option value (a central ranking or a

@@ -1,0 +1,156 @@
+package service
+
+// Exact wire-level error contracts: for every rejectable RankRequest
+// field the HTTP status code and the exact JSON error body are pinned,
+// because clients match on them. A wording change here is a wire
+// change.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// wantErrorBody renders the exact bytes the handler writes for an
+// error message (the JSON encoder escapes embedded quotes and appends
+// a newline).
+func wantErrorBody(t *testing.T, msg string) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]string{"error": msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+// serve runs one request through the full handler stack.
+func serve(t *testing.T, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	h := NewHandler(New(Config{Workers: 2, MaxCandidates: 16, MaxBatch: 2}))
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// candidatesJSON renders a minimal valid pool inline.
+const candidatesJSON = `[{"id":"a","score":2,"group":"x"},{"id":"b","score":1,"group":"y"}]`
+
+func TestWireValidationErrorsExact(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // exact "error" payload
+	}{
+		{"empty candidates", `{"candidates": []}`,
+			"invalid request: empty candidate set"},
+		{"oversized pool", `{"candidates": [` + bigPool(17) + `]}`,
+			"invalid request: 17 candidates exceed the limit of 16"},
+		{"empty id", `{"candidates": [{"id":"","score":1,"group":"x"}]}`,
+			"invalid request: candidate 0 has an empty id"},
+		{"duplicate id", `{"candidates": [{"id":"a","score":1,"group":"x"},{"id":"a","score":2,"group":"y"}]}`,
+			`invalid request: duplicate candidate id "a"`},
+		{"negative theta", `{"candidates": ` + candidatesJSON + `, "theta": -1.5}`,
+			"invalid request: theta = -1.5, want ≥ 0"},
+		{"zero samples", `{"candidates": ` + candidatesJSON + `, "samples": 0}`,
+			"invalid request: samples = 0, want ≥ 1"},
+		{"negative tolerance", `{"candidates": ` + candidatesJSON + `, "tolerance": -0.1}`,
+			"invalid request: tolerance = -0.1, want ≥ 0"},
+		{"zero top_k", `{"candidates": ` + candidatesJSON + `, "top_k": 0}`,
+			"invalid request: top_k = 0, want ≥ 1"},
+		{"negative weak_k", `{"candidates": ` + candidatesJSON + `, "weak_k": -2}`,
+			"invalid request: weak_k = -2, want ≥ 0"},
+		{"negative sigma", `{"candidates": ` + candidatesJSON + `, "sigma": -1}`,
+			"invalid request: sigma = -1, want finite ≥ 0"},
+		{"empty group", `{"candidates": [{"id":"a","score":1,"group":""},{"id":"b","score":2,"group":"y"}]}`,
+			`invalid request: fairrank: candidate "a" has empty Group`},
+		{"unknown algorithm", `{"candidates": ` + candidatesJSON + `, "algorithm": "quicksort"}`,
+			`invalid request: fairrank: unknown algorithm "quicksort"`},
+		{"unknown central", `{"candidates": ` + candidatesJSON + `, "central": "median"}`,
+			`invalid request: fairrank: unknown central ranking "median"`},
+		{"unknown criterion", `{"candidates": ` + candidatesJSON + `, "criterion": "vibes"}`,
+			`invalid request: fairrank: unknown criterion "vibes"`},
+		{"unknown noise", `{"candidates": ` + candidatesJSON + `, "noise": "fog"}`,
+			`invalid request: fairrank: unknown noise "fog"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := serve(t, http.MethodPost, "/v1/rank", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", rec.Code, rec.Body.String())
+			}
+			want := wantErrorBody(t, tc.want)
+			if got := rec.Body.String(); got != want {
+				t.Errorf("body = %q, want exactly %q", got, want)
+			}
+		})
+	}
+}
+
+// TestWireNaNScoreRejected: JSON has no NaN literal, so a NaN score can
+// only arrive via the Go API — but the service must still reject it
+// with its exact message when it does.
+func TestWireNaNScoreRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	_, err := s.Rank(t.Context(), &RankRequest{Candidates: []Candidate{
+		{ID: "a", Score: math.NaN(), Group: "x"}, {ID: "b", Score: 1, Group: "y"},
+	}})
+	if err == nil {
+		t.Fatal("NaN score accepted")
+	}
+	const want = `invalid request: fairrank: candidate "a" has NaN score`
+	if err.Error() != want {
+		t.Errorf("error = %q, want exactly %q", err, want)
+	}
+}
+
+func TestWireBatchLimitsExact(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"empty batch", `{"requests": []}`, "invalid request: empty batch"},
+		{"oversized batch", `{"requests": [{"candidates": ` + candidatesJSON + `}, {"candidates": ` + candidatesJSON + `}, {"candidates": ` + candidatesJSON + `}]}`,
+			"invalid request: batch of 3 requests exceeds the limit of 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := serve(t, http.MethodPost, "/v1/rank/batch", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", rec.Code, rec.Body.String())
+			}
+			want := wantErrorBody(t, tc.want)
+			if got := rec.Body.String(); got != want {
+				t.Errorf("body = %q, want exactly %q", got, want)
+			}
+		})
+	}
+}
+
+// TestWireMalformedJSONExactStatus pins the malformed-body contract:
+// 400 with a body that names the decode failure.
+func TestWireMalformedJSONExactStatus(t *testing.T) {
+	rec := serve(t, http.MethodPost, "/v1/rank", `{"candidates": [`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	if !strings.HasPrefix(rec.Body.String(), `{"error":"malformed JSON: `) {
+		t.Errorf("body %q does not carry the malformed-JSON prefix", rec.Body.String())
+	}
+}
+
+// bigPool renders n one-group candidates inline.
+func bigPool(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"id":"c` + string(rune('a'+i%26)) + string(rune('a'+i/26)) + `","score":1,"group":"x"}`)
+	}
+	return sb.String()
+}

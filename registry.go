@@ -130,6 +130,35 @@ type AlgorithmInfo struct {
 	// wire spelling ("theta", "samples", …); served verbatim by the
 	// catalog so clients can introspect instead of hardcoding.
 	Tunables []string
+	// Guarantees declares the distributional properties the algorithm
+	// advertises. The conformance kit (internal/conformance) asserts
+	// them statistically — many draws over synthetic workloads, with
+	// bootstrap confidence intervals — for every registered algorithm,
+	// so a registration whose behavior does not live up to its metadata
+	// fails verification instead of silently shipping. The zero value
+	// advertises nothing beyond output validity.
+	Guarantees Guarantees
+}
+
+// Guarantees are the statistically checkable promises of an algorithm's
+// registry entry. Bounds are on means over many draws under the
+// conformance measurement protocol: dispersion θ = 1, default samples
+// and tolerance (0.1), the fair central ranking (CentralFairDCG) for
+// sampling algorithms — the paper's robustness setting, noise around an
+// ex-ante fair ranking — and the weakly fair central otherwise, with
+// fairness audited over the top-min(10, n) prefix. The floors must hold
+// on every workload of the conformance corpus, adversarial
+// all-minority-at-bottom and heavily tied pools included: they are
+// worst-covered-workload floors, not averages over friendly ones.
+type Guarantees struct {
+	// MinMeanPPfair lower-bounds the mean percentage of P-fair
+	// positions (paper Definition 4) the algorithm achieves. 0 means no
+	// fairness promise (baselines), skipping the check.
+	MinMeanPPfair float64
+	// MinMeanNDCG lower-bounds the mean NDCG of the produced rankings
+	// against the score-ideal order — the paper's bounded-quality-loss
+	// claim. 0 means no quality promise, skipping the check.
+	MinMeanNDCG float64
 }
 
 // clone deep-copies the info so registry snapshots are immune to caller

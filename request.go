@@ -143,7 +143,6 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	entry := r.entry
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -151,15 +150,38 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	if err := entry.info.checkGroups(in.Groups.NumGroups()); err != nil {
+	if err := r.entry.info.checkGroups(in.Groups.NumGroups()); err != nil {
 		return nil, err
 	}
+	out, score, scored, draws, noise, err := r.rankInstance(ctx, in, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnose(in, cfg, out, topK, score, scored, draws, noise)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Ranking:     pickCandidates(req.Candidates, out[:topK]),
+		Diagnostics: diag,
+	}, nil
+}
+
+// rankInstance ranks one assembled instance under a resolved
+// configuration — the per-draw core shared by do and the multi-draw
+// Sample hook, which builds the instance once and calls this per draw.
+// It returns the chosen ranking, the winning selection score (when a
+// best-of criterion ran), the draw count, and the noise mechanism
+// actually drawn from (empty for non-sampling algorithms).
+func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Config, workers int) (perm.Perm, float64, bool, int, Noise, error) {
+	entry := r.entry
 	var (
 		out    perm.Perm
 		score  float64
 		scored bool
 		draws  int
 		noise  Noise
+		err    error
 	)
 	if entry.info.Sampling {
 		// The engine-managed Algorithm-1 family: best-of-m draws from
@@ -187,7 +209,7 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 		} else {
 			sampler, serr := lookupSampler(noise)
 			if serr != nil {
-				return nil, serr
+				return nil, 0, false, 0, "", serr
 			}
 			if workers > 0 && samples > 1 {
 				out, score, scored, err = r.noiseParallel(ctx, in, cfg, noise, sampler, samples, workers)
@@ -198,39 +220,32 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 			}
 		}
 		if err != nil {
-			return nil, err
+			return nil, 0, false, 0, "", err
 		}
 		draws = samples
 	} else {
 		strat, serr := entry.factory(cfg)
 		if serr != nil {
-			return nil, serr
+			return nil, 0, false, 0, "", serr
 		}
 		rng := r.getRNG(cfg.Seed)
 		idx, rerr := strat.Rank(&Instance{in: in}, rng)
 		r.rngs.Put(rng)
 		if rerr != nil {
-			return nil, fmt.Errorf("fairrank: %s: %w", entry.info.Name, rerr)
+			return nil, 0, false, 0, "", fmt.Errorf("fairrank: %s: %w", entry.info.Name, rerr)
 		}
 		out = perm.Perm(idx)
 		// Validate Strategy output uniformly: a defective (possibly
 		// third-party) strategy must surface as an error, never as a
 		// corrupted ranking or an out-of-range panic in the audit.
 		if len(out) != len(in.Initial) {
-			return nil, fmt.Errorf("fairrank: %s: returned %d indices for %d candidates", entry.info.Name, len(out), len(in.Initial))
+			return nil, 0, false, 0, "", fmt.Errorf("fairrank: %s: returned %d indices for %d candidates", entry.info.Name, len(out), len(in.Initial))
 		}
 		if err := out.Validate(); err != nil {
-			return nil, fmt.Errorf("fairrank: %s: invalid ranking: %w", entry.info.Name, err)
+			return nil, 0, false, 0, "", fmt.Errorf("fairrank: %s: invalid ranking: %w", entry.info.Name, err)
 		}
 	}
-	diag, err := diagnose(in, cfg, out, topK, score, scored, draws, noise)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Ranking:     pickCandidates(req.Candidates, out[:topK]),
-		Diagnostics: diag,
-	}, nil
+	return out, score, scored, draws, noise, nil
 }
 
 // resolve merges the Ranker's Config (with its defaults applied for the

@@ -1,0 +1,178 @@
+package fairrank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// samplePool builds a deterministic two-group pool for the Sample tests.
+func samplePool(n int) []Candidate {
+	cands := make([]Candidate, n)
+	for i := range cands {
+		g := "a"
+		if i%3 == 0 {
+			g = "b"
+		}
+		cands[i] = Candidate{ID: fmt.Sprintf("s%02d", i), Score: float64(n - i), Group: g}
+	}
+	return cands
+}
+
+func sampleIDs(res *Result) []string {
+	ids := make([]string, len(res.Ranking))
+	for i, c := range res.Ranking {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+func TestSampleReproducibleAndDecorrelated(t *testing.T) {
+	r, err := NewRanker(Config{Algorithm: AlgorithmMallows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := samplePool(12)
+	seed := int64(7)
+	run := func() [][]string {
+		var seq [][]string
+		err := r.Sample(context.Background(), Request{Candidates: cands, Seed: &seed}, 20, func(i int, res *Result) error {
+			if i != len(seq) {
+				t.Fatalf("draw index %d, want %d", i, len(seq))
+			}
+			seq = append(seq, sampleIDs(res))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal Sample sweeps observed different sequences")
+	}
+	distinct := map[string]bool{}
+	for _, ids := range a {
+		distinct[fmt.Sprint(ids)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("20 draws produced %d distinct rankings, want variation", len(distinct))
+	}
+}
+
+func TestSampleDrawMatchesDoWithDerivedSeed(t *testing.T) {
+	r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := samplePool(10)
+	seed := int64(42)
+	var draws []*Result
+	if err := r.Sample(context.Background(), Request{Candidates: cands, Seed: &seed}, 5, func(i int, res *Result) error {
+		draws = append(draws, res)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range draws {
+		derived := SampleSeed(seed, i)
+		if got.Diagnostics.Seed != derived {
+			t.Fatalf("draw %d reports seed %d, want SampleSeed = %d", i, got.Diagnostics.Seed, derived)
+		}
+		replay, err := r.Do(context.Background(), Request{Candidates: cands, Seed: &derived})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sampleIDs(got), sampleIDs(replay)) {
+			t.Fatalf("draw %d not replayable through Do with its derived seed", i)
+		}
+	}
+}
+
+func TestSampleDeterministicAlgorithmDrawsIdentical(t *testing.T) {
+	r, err := NewRanker(Config{Algorithm: AlgorithmDetConstSort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := samplePool(10)
+	seed := int64(3)
+	var first []string
+	if err := r.Sample(context.Background(), Request{Candidates: cands, Seed: &seed}, 4, func(i int, res *Result) error {
+		if i == 0 {
+			first = sampleIDs(res)
+			return nil
+		}
+		if !reflect.DeepEqual(first, sampleIDs(res)) {
+			t.Fatalf("deterministic algorithm varied across Sample draws at draw %d", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleHonorsOverridesAndTopK(t *testing.T) {
+	r, err := NewRanker(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := samplePool(12)
+	theta, samples, topK, seed := 0.5, 3, 4, int64(1)
+	err = r.Sample(context.Background(), Request{
+		Candidates: cands, Theta: &theta, Samples: &samples, TopK: &topK, Seed: &seed,
+	}, 3, func(i int, res *Result) error {
+		d := res.Diagnostics
+		if len(res.Ranking) != topK || d.TopK != topK {
+			return fmt.Errorf("draw %d: ranking length %d (diag %d), want %d", i, len(res.Ranking), d.TopK, topK)
+		}
+		if d.Theta != theta || d.Samples != samples || d.DrawsEvaluated != samples {
+			return fmt.Errorf("draw %d: resolved (θ=%v, m=%d, draws=%d), want (θ=%v, m=%d)", i, d.Theta, d.Samples, d.DrawsEvaluated, theta, samples)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	r, err := NewRanker(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := samplePool(8)
+	noop := func(int, *Result) error { return nil }
+	if err := r.Sample(context.Background(), Request{Candidates: cands}, 0, noop); err == nil {
+		t.Error("draws = 0 accepted")
+	}
+	if err := r.Sample(context.Background(), Request{Candidates: cands}, 1, nil); err == nil {
+		t.Error("nil observe accepted")
+	}
+	if err := r.Sample(context.Background(), Request{}, 1, noop); err == nil {
+		t.Error("empty pool accepted")
+	}
+	bad := -1.0
+	if err := r.Sample(context.Background(), Request{Candidates: cands, Theta: &bad}, 1, noop); err == nil {
+		t.Error("negative theta accepted")
+	}
+	sentinel := errors.New("stop here")
+	calls := 0
+	err = r.Sample(context.Background(), Request{Candidates: cands}, 10, func(i int, res *Result) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("observe error = %v, want the sentinel back verbatim", err)
+	}
+	if calls != 1 {
+		t.Errorf("observe called %d times after aborting, want 1", calls)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Sample(ctx, Request{Candidates: cands}, 5, noop); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Sample = %v, want context.Canceled", err)
+	}
+}
