@@ -13,10 +13,22 @@
 //
 //	fairrank-soak -spawn -corpus smoke -requests 200 -out BENCH_pr.json
 //
+// -mode jobs exercises the async job pipeline instead of the sync
+// endpoints: each logical request submits a batch job
+// (POST /v1/jobs/rank), polls GET /v1/jobs/{id} until it is done,
+// verifies every item, and deletes the job — the recorded latency is
+// the submit→results end-to-end time. With -cancel, a fraction of jobs
+// is cancelled via DELETE right after submission and verified gone.
+//
 // -corpus accepts a built-in corpus name (see internal/scenario) or a
 // JSON corpus file, the same loader cmd/datagen uses. Requests are
 // deterministic: request i carries seed -seed+i, so a soak run is
 // replayable and two runs against correct servers rank identically.
+//
+// With -spawn the run ends with a reconciliation pass: the client's own
+// per-endpoint request counts are checked against the server's
+// GET /v1/metrics route counters, so the observability layer is load-
+// tested too, not just read.
 //
 // Output is appended to -out as one JSON object per line with
 // "Action": "soak" (one line per endpoint) and "Action": "soak-summary"
@@ -52,6 +64,7 @@ func main() {
 	addr := flag.String("addr", "http://localhost:8080", "base URL of the fairrankd server under test")
 	spawn := flag.Bool("spawn", false, "serve in-process instead of targeting -addr (self-contained smoke runs)")
 	corpus := flag.String("corpus", "soak", "built-in corpus name or JSON corpus file (shared with datagen); see internal/scenario")
+	mode := flag.String("mode", "sync", `"sync" replays /v1/rank(+batch); "jobs" submits async jobs and polls them to completion`)
 	requests := flag.Int("requests", 200, "total requests to send")
 	duration := flag.Duration("duration", 0, "if > 0, keep sending until this much time has passed (overrides -requests)")
 	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
@@ -91,6 +104,9 @@ func main() {
 	if *cancelAfter < 0 {
 		log.Fatalf("-cancel-after = %v, want ≥ 0", *cancelAfter)
 	}
+	if *mode != "sync" && *mode != "jobs" {
+		log.Fatalf(`-mode = %q, want "sync" or "jobs"`, *mode)
+	}
 
 	base := *addr
 	if *spawn {
@@ -106,6 +122,7 @@ func main() {
 	}
 	run := &soakRun{
 		base:        base,
+		mode:        *mode,
 		client:      &http.Client{Timeout: 5 * time.Minute},
 		targets:     targets,
 		batchEvery:  *batchEvery,
@@ -113,9 +130,21 @@ func main() {
 		cancelFrac:  *cancelFrac,
 		cancelAfter: *cancelAfter,
 		seed:        *seed,
+		counts:      map[string]*routeCount{},
 	}
-	log.Printf("replaying corpus %q (%d specs) against %s: %d workers", *corpus, len(specs), base, *concurrency)
+	log.Printf("replaying corpus %q (%d specs) against %s in %s mode: %d workers",
+		*corpus, len(specs), base, *mode, *concurrency)
 	summary := run.execute(*concurrency, *requests, *duration)
+	if *spawn {
+		// An exclusive in-process server lets the client hold the
+		// observability layer to account: every request the client
+		// completed must appear in the server's own route counters.
+		if err := run.reconcileMetrics(); err != nil {
+			log.Fatalf("metrics reconciliation: %v", err)
+		}
+		summary.MetricsReconciled = true
+		log.Printf("server /v1/metrics route counters reconcile with the client's request counts")
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "-" {
@@ -195,8 +224,19 @@ type sample struct {
 	failure   string // empty on success
 }
 
+// routeCount is the client's own ledger for one server route pattern:
+// how many requests it sent and how many round-trips it completed
+// (read a full response, whatever the status). The server's
+// /v1/metrics requests counter for the route must land in
+// [completed, attempts] — below means lost counts, above phantom ones.
+type routeCount struct {
+	attempts  int64
+	completed int64
+}
+
 type soakRun struct {
 	base        string
+	mode        string
 	client      *http.Client
 	targets     []target
 	batchEvery  int
@@ -207,6 +247,7 @@ type soakRun struct {
 
 	mu      sync.Mutex
 	samples []sample
+	counts  map[string]*routeCount // by server route pattern
 }
 
 // Summary is the run-level soak result, serialized as the
@@ -214,6 +255,7 @@ type soakRun struct {
 type Summary struct {
 	Action        string  `json:"Action"`
 	Corpus        string  `json:"Corpus"`
+	Mode          string  `json:"Mode"`
 	Target        string  `json:"Target"`
 	Workers       int     `json:"Workers"`
 	Requests      int     `json:"Requests"`
@@ -221,6 +263,10 @@ type Summary struct {
 	Failures      int     `json:"Failures"`
 	WallSeconds   float64 `json:"WallSeconds"`
 	ThroughputRPS float64 `json:"ThroughputRPS"`
+	// MetricsReconciled reports that the server's /v1/metrics route
+	// counters were checked against the client's ledger (spawned runs
+	// only; a mismatch fails the run before this line is written).
+	MetricsReconciled bool `json:"MetricsReconciled"`
 }
 
 // EndpointReport is the per-endpoint soak result, serialized as one
@@ -264,7 +310,7 @@ func (r *soakRun) execute(workers, requests int, duration time.Duration) Summary
 	wg.Wait()
 	wall := time.Since(start)
 
-	sum := Summary{Action: "soak-summary", Target: r.base, Workers: workers}
+	sum := Summary{Action: "soak-summary", Mode: r.mode, Target: r.base, Workers: workers}
 	for _, s := range r.samples {
 		sum.Requests++
 		if s.cancelled {
@@ -287,16 +333,43 @@ func (r *soakRun) record(s sample) {
 	r.mu.Unlock()
 }
 
-// send issues request i: a batch when i hits the batch cadence, a
+// countAttempt/countDone maintain the per-route reconciliation ledger.
+func (r *soakRun) countAttempt(route string) {
+	r.mu.Lock()
+	c := r.counts[route]
+	if c == nil {
+		c = &routeCount{}
+		r.counts[route] = c
+	}
+	c.attempts++
+	r.mu.Unlock()
+}
+
+func (r *soakRun) countDone(route string) {
+	r.mu.Lock()
+	r.counts[route].completed++
+	r.mu.Unlock()
+}
+
+// send issues request i in the run's mode.
+func (r *soakRun) send(i int, rng *rand.Rand) sample {
+	if r.mode == "jobs" {
+		return r.sendJob(i, rng)
+	}
+	return r.sendSync(i, rng)
+}
+
+// sendSync issues request i: a batch when i hits the batch cadence, a
 // single rank otherwise, optionally with an injected client-side
 // cancellation.
-func (r *soakRun) send(i int, rng *rand.Rand) sample {
+func (r *soakRun) sendSync(i int, rng *rand.Rand) sample {
 	tgt := r.targets[i%len(r.targets)]
 	endpoint, body := "/v1/rank", r.singleBody(tgt, i)
 	isBatch := r.batchEvery > 0 && i%r.batchEvery == r.batchEvery-1
 	if isBatch {
 		endpoint, body = "/v1/rank/batch", r.batchBody(tgt, i)
 	}
+	route := http.MethodPost + " " + endpoint
 	ctx := context.Background()
 	injected := r.cancelFrac > 0 && rng.Float64() < r.cancelFrac
 	if injected {
@@ -309,6 +382,7 @@ func (r *soakRun) send(i int, rng *rand.Rand) sample {
 		return sample{endpoint: endpoint, failure: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	r.countAttempt(route)
 	start := time.Now()
 	resp, err := r.client.Do(req)
 	latency := time.Since(start)
@@ -326,6 +400,7 @@ func (r *soakRun) send(i int, rng *rand.Rand) sample {
 		}
 		return sample{endpoint: endpoint, latency: latency, failure: err.Error()}
 	}
+	r.countDone(route)
 	if injected && (resp.StatusCode == 499 || ctx.Err() != nil) {
 		return sample{endpoint: endpoint, latency: latency, cancelled: true}
 	}
@@ -336,6 +411,180 @@ func (r *soakRun) send(i int, rng *rand.Rand) sample {
 		return sample{endpoint: endpoint, latency: latency, failure: msg}
 	}
 	return sample{endpoint: endpoint, latency: latency}
+}
+
+// jobCall is one counted round-trip of the job lifecycle (no
+// cancellation injection on the control-plane calls — jobs mode
+// exercises cancellation through DELETE instead).
+func (r *soakRun) jobCall(method, path, route string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	r.countAttempt(route)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	r.countDone(route)
+	return resp.StatusCode, payload, nil
+}
+
+// sendJob drives one full async-job lifecycle: submit the batch, poll
+// until done, verify every item, delete the job. The recorded latency
+// is submit→results end to end. A cancelFrac roll instead cancels the
+// job right after submission and verifies it is gone.
+func (r *soakRun) sendJob(i int, rng *rand.Rand) sample {
+	const endpoint = "/v1/jobs/rank"
+	tgt := r.targets[i%len(r.targets)]
+	start := time.Now()
+	status, payload, err := r.jobCall(http.MethodPost, endpoint, "POST /v1/jobs/rank", r.batchBody(tgt, i))
+	if err != nil {
+		return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
+	}
+	if status != http.StatusAccepted {
+		return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("submit status %d: %s", status, truncate(payload))}
+	}
+	var sub service.JobSubmitResponse
+	if err := json.Unmarshal(payload, &sub); err != nil {
+		return sample{endpoint: endpoint, latency: time.Since(start), failure: "undecodable submit response: " + err.Error()}
+	}
+	if sub.ID == "" || sub.Total != r.batchSize {
+		return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("submit response %s: id %q, total %d want %d", truncate(payload), sub.ID, sub.Total, r.batchSize)}
+	}
+	jobPath := "/v1/jobs/" + sub.ID
+
+	if r.cancelFrac > 0 && rng.Float64() < r.cancelFrac {
+		if status, payload, err = r.jobCall(http.MethodDelete, jobPath, "DELETE /v1/jobs/{id}", nil); err != nil {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
+		}
+		if status != http.StatusNoContent {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("cancel status %d: %s", status, truncate(payload))}
+		}
+		if status, payload, err = r.jobCall(http.MethodGet, jobPath, "GET /v1/jobs/{id}", nil); err != nil {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
+		}
+		if status != http.StatusNotFound {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("cancelled job still pollable: status %d: %s", status, truncate(payload))}
+		}
+		return sample{endpoint: endpoint, latency: time.Since(start), cancelled: true}
+	}
+
+	// Poll until terminal; the job layer owes progress monotonicity but
+	// no latency bound beyond the corpus item cost, so the budget is
+	// generous and the cadence short.
+	deadline := time.Now().Add(2 * time.Minute)
+	var st service.JobStatusResponse
+	for {
+		if time.Now().After(deadline) {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("job %s not done after 2m (last state %q, %d/%d)", sub.ID, st.State, st.Completed, st.Total)}
+		}
+		if status, payload, err = r.jobCall(http.MethodGet, jobPath, "GET /v1/jobs/{id}", nil); err != nil {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
+		}
+		if status != http.StatusOK {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("poll status %d: %s", status, truncate(payload))}
+		}
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: "undecodable status: " + err.Error()}
+		}
+		if st.Completed < 0 || st.Completed > st.Total {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("progress out of range: %d/%d", st.Completed, st.Total)}
+		}
+		if st.State == service.JobStateDone {
+			break
+		}
+		if st.State == service.JobStateCancelled {
+			return sample{endpoint: endpoint, latency: time.Since(start), failure: "job cancelled without a client cancel"}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	latency := time.Since(start)
+	if msg := checkJobItems(&st, tgt, r.batchSize); msg != "" {
+		return sample{endpoint: endpoint, latency: latency, failure: msg}
+	}
+	if status, payload, err = r.jobCall(http.MethodDelete, jobPath, "DELETE /v1/jobs/{id}", nil); err != nil {
+		return sample{endpoint: endpoint, latency: latency, failure: err.Error()}
+	}
+	if status != http.StatusNoContent {
+		return sample{endpoint: endpoint, latency: latency, failure: fmt.Sprintf("delete status %d: %s", status, truncate(payload))}
+	}
+	return sample{endpoint: endpoint, latency: latency}
+}
+
+// checkJobItems sanity-checks a done job's results: zero dropped items,
+// zero item errors, full rankings.
+func checkJobItems(st *service.JobStatusResponse, tgt target, batchSize int) string {
+	wantLen := tgt.spec.N
+	if tgt.topK > 0 && tgt.topK < wantLen {
+		wantLen = tgt.topK
+	}
+	if len(st.Items) != batchSize || st.Completed != batchSize {
+		return fmt.Sprintf("job returned %d items (%d completed), want %d", len(st.Items), st.Completed, batchSize)
+	}
+	if st.Failed != 0 {
+		return fmt.Sprintf("job reported %d failed items", st.Failed)
+	}
+	for i, item := range st.Items {
+		if item.Error != "" {
+			return fmt.Sprintf("item %d error: %s", i, item.Error)
+		}
+		if item.Response == nil || len(item.Response.Ranking) != wantLen {
+			got := -1
+			if item.Response != nil {
+				got = len(item.Response.Ranking)
+			}
+			return fmt.Sprintf("item %d ranked %d candidates, want %d", i, got, wantLen)
+		}
+	}
+	return ""
+}
+
+// reconcileMetrics fetches the server's /v1/metrics and checks every
+// route the client used against its own ledger: the server's requests
+// counter must land in [completed, attempts].
+func (r *soakRun) reconcileMetrics() error {
+	resp, err := r.client.Get(r.base + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/metrics: status %d", resp.StatusCode)
+	}
+	var m service.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("undecodable metrics: %v", err)
+	}
+	byRoute := map[string]service.RouteMetrics{}
+	for _, rt := range m.Routes {
+		byRoute[rt.Route] = rt
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for route, c := range r.counts {
+		got, ok := byRoute[route]
+		if !ok {
+			return fmt.Errorf("route %q missing from /v1/metrics", route)
+		}
+		if got.Requests < c.completed || got.Requests > c.attempts {
+			return fmt.Errorf("route %q: server counted %d requests, client ledger wants [%d, %d]",
+				route, got.Requests, c.completed, c.attempts)
+		}
+	}
+	return nil
 }
 
 func (r *soakRun) singleBody(tgt target, i int) []byte {
@@ -405,7 +654,7 @@ func (r *soakRun) report(w io.Writer, corpus string, sum Summary) error {
 	for _, s := range r.samples {
 		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
 	}
-	for _, endpoint := range []string{"/v1/rank", "/v1/rank/batch"} {
+	for _, endpoint := range []string{"/v1/rank", "/v1/rank/batch", "/v1/jobs/rank"} {
 		ss := byEndpoint[endpoint]
 		if len(ss) == 0 {
 			continue

@@ -1,15 +1,20 @@
 // Command fairrankd serves fair rankings over HTTP.
 //
-// It exposes the serving layer of internal/service:
+// It exposes the layered serving pipeline of internal/service:
 //
-//	POST /v1/rank        rank one candidate pool
-//	POST /v1/rank/batch  rank many independent pools concurrently
-//	GET  /v1/algorithms  introspect algorithms, centrals, criteria, defaults
-//	GET  /healthz        liveness probe
+//	POST   /v1/rank        rank one candidate pool (sync)
+//	POST   /v1/rank/batch  rank many independent pools concurrently (sync)
+//	POST   /v1/jobs/rank   submit a batch as an async job (202 + job ID)
+//	GET    /v1/jobs/{id}   poll job status/progress; items once done
+//	DELETE /v1/jobs/{id}   cancel/delete a job
+//	GET    /v1/algorithms  introspect algorithms, centrals, criteria, defaults
+//	GET    /v1/metrics     per-route, queue, job, and engine counters
+//	GET    /healthz        liveness probe
+//	GET    /readyz         readiness probe (503 while draining)
 //
 // Example:
 //
-//	fairrankd -addr :8080 -workers 8
+//	fairrankd -addr :8080 -workers 8 -queue-depth 32 -job-ttl 10m
 //
 //	curl -s localhost:8080/v1/rank -d '{
 //	  "candidates": [
@@ -31,13 +36,27 @@
 // ranking (NDCG, draws evaluated, Kendall tau to the central ranking,
 // PPfair and the Two-Sided Infeasible Index over the delivered prefix).
 //
+// Admission control: ranking work passes through a bounded admission
+// queue (-queue-depth positions beyond the -workers executing, each
+// sync request bounded by the -queue-wait budget). A saturated queue
+// answers 429 with a Retry-After header immediately instead of letting
+// backlog build. Async jobs absorb backpressure instead: items drain
+// through the same queue without a budget, so soak-scale batches
+// neither hold a connection open nor get dropped.
+//
 // Responses are deterministic: equal requests with equal seeds return
-// equal rankings. The server amortizes work across requests through
-// reusable ranking engines (see fairrank.Ranker) — requests differing
-// only in per-request overrides share one engine, and the engine's
-// Mallows tables are keyed by (pool size, θ) so mixed dispersions share
-// the cache. Request contexts flow into the sampling loops: client
-// disconnects and deadlines abort in-flight work between draws.
+// equal rankings, sync or async. The server amortizes work across
+// requests through reusable ranking engines (see fairrank.Ranker) —
+// requests differing only in per-request overrides share one engine,
+// and the engine's Mallows tables are keyed by (pool size, θ) so mixed
+// dispersions share the cache. Request contexts flow into the sampling
+// loops: client disconnects and deadlines abort in-flight work between
+// draws.
+//
+// On SIGINT/SIGTERM the server drains: readiness goes 503 (load
+// balancers stop routing), new job submissions are rejected, running
+// jobs and in-flight requests get a grace period to finish, then the
+// HTTP server shuts down and any still-running jobs are cancelled.
 package main
 
 import (
@@ -45,6 +64,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,13 +81,28 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size bounding ranking concurrency (0 = GOMAXPROCS)")
 	maxCandidates := flag.Int("max-candidates", 0, "largest accepted candidate pool (0 = default 100000)")
-	maxBatch := flag.Int("max-batch", 0, "largest accepted batch (0 = default 1024)")
+	maxBatch := flag.Int("max-batch", 0, "largest accepted batch, sync or per job (0 = default 1024)")
+	queueDepth := flag.Int("queue-depth", 0, "admission-queue positions beyond the executing workers; full queue answers 429 (0 = default 4×workers)")
+	queueWait := flag.Duration("queue-wait", 0, "longest a sync request may wait for a worker slot before 429 (0 = default 10s)")
+	maxJobs := flag.Int("max-jobs", 0, "largest number of stored async jobs (0 = default 64)")
+	jobTTL := flag.Duration("job-ttl", 0, "how long finished jobs stay fetchable before eviction (0 = default 10m)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests and running jobs on shutdown")
+	quiet := flag.Bool("quiet", false, "disable per-request access logging")
 	flag.Parse()
 
+	var access *slog.Logger
+	if !*quiet {
+		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	svc := service.New(service.Config{
 		Workers:       *workers,
 		MaxCandidates: *maxCandidates,
 		MaxBatch:      *maxBatch,
+		QueueDepth:    *queueDepth,
+		QueueWait:     *queueWait,
+		MaxJobs:       *maxJobs,
+		JobTTL:        *jobTTL,
+		AccessLog:     access,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -104,11 +139,21 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case sig := <-stop:
-		log.Printf("received %s, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Drain in dependency order: stop being routable (readyz 503,
+		// job submissions rejected), let running jobs and in-flight
+		// requests finish inside the grace period, shut the HTTP server
+		// down, then hard-cancel whatever jobs remain.
+		log.Printf("received %s, draining (grace %s)", sig, *drainTimeout)
+		svc.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		if err := svc.DrainJobs(ctx); err != nil {
+			log.Printf("drain: jobs still running after grace period: %v", err)
+		}
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatalf("shutdown: %v", err)
 		}
+		svc.Close()
+		log.Printf("drained")
 	}
 }

@@ -20,31 +20,15 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the observed responses")
 
-// goldenBody serves one request against the full HTTP stack and
-// compares the response bytes to testdata/<name>.golden.
-func goldenBody(t *testing.T, name, method, path, body string) {
+// goldenCompare checks observed response bytes against
+// testdata/<name>.golden (or rewrites the file under -update).
+func goldenCompare(t *testing.T, name string, got []byte) {
 	t.Helper()
-	h := NewHandler(New(Config{Workers: 2}))
-	var reqBody *strings.Reader
-	if body == "" {
-		reqBody = strings.NewReader("")
-	} else {
-		reqBody = strings.NewReader(body)
-	}
-	req := httptest.NewRequest(method, path, reqBody)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("%s %s returned %d: %s", method, path, rec.Code, rec.Body.String())
-	}
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
-		t.Fatalf("%s %s Content-Type = %q, want application/json", method, path, ct)
-	}
-	got := rec.Body.Bytes()
 	goldenPath := filepath.Join("testdata", name+".golden")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -60,9 +44,33 @@ func goldenBody(t *testing.T, name, method, path, body string) {
 		t.Fatalf("missing golden file (run with -update to create it): %v", err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Errorf("%s %s wire format changed.\n--- want (%s)\n%s\n--- got\n%s\nIf the change is intentional, regenerate with -update and review the diff.",
-			method, path, goldenPath, want, got)
+		t.Errorf("%s wire format changed.\n--- want (%s)\n%s\n--- got\n%s\nIf the change is intentional, regenerate with -update and review the diff.",
+			name, goldenPath, want, got)
 	}
+}
+
+// goldenServe serves one request against a handler and returns the
+// response body after pinning status and content type.
+func goldenServe(t *testing.T, h http.Handler, method, path, body string, wantStatus int) []byte {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("%s %s returned %d, want %d: %s", method, path, rec.Code, wantStatus, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s Content-Type = %q, want application/json", method, path, ct)
+	}
+	return rec.Body.Bytes()
+}
+
+// goldenBody serves one request against a fresh HTTP stack and
+// compares the response bytes to testdata/<name>.golden.
+func goldenBody(t *testing.T, name, method, path, body string) {
+	t.Helper()
+	h := NewHandler(New(Config{Workers: 2}))
+	goldenCompare(t, name, goldenServe(t, h, method, path, body, http.StatusOK))
 }
 
 // goldenRankBody is a canonical request touching every response
@@ -119,6 +127,79 @@ func TestGoldenRankBatch(t *testing.T) {
   ]
 }`
 	goldenBody(t, "rank_batch", http.MethodPost, "/v1/rank/batch", body)
+}
+
+func TestGoldenReadyz(t *testing.T) {
+	goldenBody(t, "readyz", http.MethodGet, "/readyz", "")
+}
+
+// TestGoldenMetrics pins the /v1/metrics wire shape on a fresh server:
+// every registered route with zeroed counters (except the metrics
+// request itself, counted mid-flight), the queue/job/engine gauges at
+// their configured shape. Latency fields are all zero because no other
+// request has completed — the shape, field names, and route inventory
+// are what this golden guards.
+func TestGoldenMetrics(t *testing.T) {
+	goldenBody(t, "metrics", http.MethodGet, "/v1/metrics", "")
+}
+
+// TestGoldenJobLifecycle pins the async-job wire formats across one
+// full lifecycle on a single fresh handler: the 202 submit response
+// (IDs are sequential per service, so a fresh store always answers
+// job-000001), the done status with its items, and the 404 after
+// deletion. The intermediate poll loop is not golden — its progress
+// values race the supervisor — but the terminal responses are exact.
+func TestGoldenJobLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	h := NewHandler(s)
+	submitBody := `{
+  "requests": [
+    {
+      "candidates": [
+        {"id": "a", "score": 3, "group": "x"},
+        {"id": "b", "score": 2, "group": "y"},
+        {"id": "c", "score": 1, "group": "x"}
+      ],
+      "algorithm": "score",
+      "seed": 1
+    },
+    {
+      "candidates": [],
+      "seed": 2
+    }
+  ]
+}`
+	goldenCompare(t, "job_submit",
+		goldenServe(t, h, http.MethodPost, "/v1/jobs/rank", submitBody, http.StatusAccepted))
+
+	// Wait off the wire so the golden comparison only ever sees the
+	// terminal state.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := s.JobStatus("job-000001")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobStateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	goldenCompare(t, "job_status_done",
+		goldenServe(t, h, http.MethodGet, "/v1/jobs/job-000001", "", http.StatusOK))
+
+	req := httptest.NewRequest(http.MethodDelete, "/v1/jobs/job-000001", strings.NewReader(""))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete returned %d", rec.Code)
+	}
+	goldenCompare(t, "job_not_found",
+		goldenServe(t, h, http.MethodGet, "/v1/jobs/job-000001", "", http.StatusNotFound))
 }
 
 func TestGoldenAlgorithms(t *testing.T) {

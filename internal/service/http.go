@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
-// away (or its deadline passed) before the response was produced.
+// away before the response was produced. Server-side deadline expiry is
+// distinct and maps to 504.
 const statusClientClosedRequest = 499
 
 // maxBodyBytes bounds request bodies accepted by the HTTP handler.
@@ -16,49 +18,106 @@ const maxBodyBytes = 32 << 20
 
 // NewHandler exposes the service over HTTP:
 //
-//	POST /v1/rank        RankRequest  → RankResponse
-//	POST /v1/rank/batch  BatchRequest → BatchResponse
-//	GET  /v1/algorithms  CatalogResponse (introspection)
-//	GET  /healthz        liveness probe
+//	POST   /v1/rank        RankRequest  → RankResponse (sync)
+//	POST   /v1/rank/batch  BatchRequest → BatchResponse (sync)
+//	POST   /v1/jobs/rank   BatchRequest → JobSubmitResponse (async, 202)
+//	GET    /v1/jobs/{id}   JobStatusResponse (progress; items once done)
+//	DELETE /v1/jobs/{id}   cancel/delete a job (204)
+//	GET    /v1/algorithms  CatalogResponse (introspection)
+//	GET    /v1/metrics     MetricsResponse (transport/queue/jobs/engine)
+//	GET    /healthz        liveness probe (process is up)
+//	GET    /readyz         readiness probe (503 once draining)
 //
-// Request-caused failures (ErrInvalid, malformed JSON) return 400 with a
-// JSON {"error": "..."} body; a cancelled or timed-out request returns
-// 499 (client closed request); anything else returns 500. Each request's
-// context flows into the sampling loops, so client disconnects abort
-// in-flight ranking work.
+// Every route runs behind the transport middleware stack: request-ID
+// injection (X-Request-Id, inbound IDs preserved), optional structured
+// access logging (Config.AccessLog), panic recovery (500 instead of a
+// torn connection), and per-route latency/inflight/error counters
+// served by GET /v1/metrics.
+//
+// Error mapping: request-caused failures (ErrInvalid, malformed JSON)
+// return 400 with a JSON {"error": "..."} body; unknown job IDs 404; a
+// saturated admission queue or job store 429 with Retry-After; a
+// draining service 503 (new jobs) with Retry-After; a client
+// cancellation 499; a deadline expiry 504; anything else 500. Each
+// request's context flows into the sampling loops, so client
+// disconnects abort in-flight ranking work.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/rank", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, chain(h, routeMetrics(s.stats.route(pattern))))
+	}
+	route("POST /v1/rank", func(w http.ResponseWriter, r *http.Request) {
 		var req RankRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		resp, err := s.Rank(r.Context(), &req)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("POST /v1/rank/batch", func(w http.ResponseWriter, r *http.Request) {
+	route("POST /v1/rank/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		resp, err := s.RankBatch(r.Context(), &req)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+	route("POST /v1/jobs/rank", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.SubmitJob(&req)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	})
+	route("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := s.JobStatus(r.PathValue("id"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	route("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CancelJob(r.PathValue("id")); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	route("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Catalog())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	route("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	route("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return chain(mux,
+		requestID(),
+		accessLog(s.cfg.AccessLog),
+		recovery(s.stats, s.cfg.AccessLog),
+	)
 }
 
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
@@ -70,13 +129,26 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps service errors onto wire statuses; see NewHandler.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrInvalid):
 		status = http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrSaturated):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.queue.RetryAfter().Seconds())))
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.queue.RetryAfter().Seconds())))
+	case errors.Is(err, context.Canceled):
 		status = statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		// The budget for producing a response ran out server-side:
+		// a gateway timeout, not a client disconnect.
+		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound tags lookups of job IDs the store does not hold — never
+// submitted, already deleted, or evicted after their TTL. Transports
+// should map it to their not-found status.
+var ErrNotFound = errors.New("not found")
+
+// Job states on the wire. A job is terminal in JobStateDone or
+// JobStateCancelled; only JobStateDone carries items.
+const (
+	JobStatePending   = "pending"
+	JobStateRunning   = "running"
+	JobStateDone      = "done"
+	JobStateCancelled = "cancelled"
+)
+
+// job is one asynchronous batch: submitted, supervised, and drained
+// item by item through the same admission queue as synchronous traffic.
+type job struct {
+	id     string
+	total  int
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	finished  time.Time
+	completed int
+	failed    int
+	items     []BatchItem // set once, when the job reaches JobStateDone
+}
+
+func (j *job) progress(item BatchItem) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.completed++
+	if item.Error != "" {
+		j.failed++
+	}
+}
+
+// finish moves the job to its terminal state. A cancelled job keeps no
+// items: cancellation aborted an unknown subset mid-flight, and serving
+// a half-ranked batch as if it were a result would be worse than
+// serving nothing.
+func (j *job) finish(items []BatchItem, cancelled bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if cancelled {
+		j.state = JobStateCancelled
+		return
+	}
+	j.state = JobStateDone
+	j.items = items
+}
+
+func (j *job) status() *JobStatusResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	resp := &JobStatusResponse{
+		ID:        j.id,
+		State:     j.state,
+		Total:     j.total,
+		Completed: j.completed,
+		Failed:    j.failed,
+	}
+	if j.state == JobStateDone {
+		resp.Items = j.items
+	}
+	return resp
+}
+
+// jobStore holds submitted jobs, bounded by max, with lazy TTL eviction
+// of terminal jobs on every access.
+type jobStore struct {
+	max int
+	ttl time.Duration
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	seq     uint64
+	evicted int64
+	// itemsDone is atomic, not mu-guarded: it is incremented on the
+	// per-item hot path of every running job, which must not contend
+	// with store accesses (each of which sweeps the whole store).
+	itemsDone atomic.Int64
+}
+
+func newJobStore(max int, ttl time.Duration) *jobStore {
+	return &jobStore{max: max, ttl: ttl, jobs: make(map[string]*job)}
+}
+
+// sweep drops terminal jobs whose TTL has passed. Callers hold s.mu.
+func (st *jobStore) sweep(now time.Time) {
+	for id, j := range st.jobs {
+		j.mu.Lock()
+		expired := (j.state == JobStateDone || j.state == JobStateCancelled) &&
+			now.Sub(j.finished) >= st.ttl
+		j.mu.Unlock()
+		if expired {
+			delete(st.jobs, id)
+			st.evicted++
+		}
+	}
+}
+
+func (st *jobStore) add(j *job) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweep(time.Now())
+	if len(st.jobs) >= st.max {
+		return ErrSaturated
+	}
+	st.seq++
+	j.id = fmt.Sprintf("job-%06d", st.seq)
+	st.jobs[j.id] = j
+	return nil
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweep(time.Now())
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+func (st *jobStore) remove(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if ok {
+		delete(st.jobs, id)
+	}
+	st.sweep(time.Now())
+	return j, ok
+}
+
+// SubmitJob accepts a batch for asynchronous ranking and returns its
+// job ID immediately; per-item workers drain through the same admission
+// queue as synchronous traffic, so soak-scale batches no longer hold a
+// connection open. Poll with JobStatus, fetch items once the state is
+// "done", cancel with CancelJob. A full job store fails with
+// ErrSaturated; a draining service rejects new jobs with ErrDraining.
+func (s *Service) SubmitJob(batch *BatchRequest) (*JobSubmitResponse, error) {
+	if err := s.validateBatch(batch); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(s.jobsCtx)
+	j := &job{
+		total:  len(batch.Requests),
+		cancel: cancel,
+		state:  JobStatePending,
+	}
+	// The draining check and the jobsWG registration are one critical
+	// section against BeginDrain (see drainMu): a submission in the
+	// drain window is either refused or fully registered before
+	// DrainJobs can start waiting.
+	s.drainMu.Lock()
+	if s.draining.Load() {
+		s.drainMu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	if err := s.jobs.add(j); err != nil {
+		s.drainMu.Unlock()
+		cancel()
+		return nil, err
+	}
+	s.jobsWG.Add(1)
+	s.drainMu.Unlock()
+	go s.runJob(ctx, j, batch.Requests)
+	return &JobSubmitResponse{
+		ID:        j.id,
+		Total:     j.total,
+		StatusURL: "/v1/jobs/" + j.id,
+	}, nil
+}
+
+// runJob is the per-job supervisor: it drives the batch through
+// runBatch (at most Workers items in flight, each item taking one
+// execution slot with an unbounded, cancellable wait) and records
+// per-item progress as items complete.
+func (s *Service) runJob(ctx context.Context, j *job, reqs []RankRequest) {
+	defer s.jobsWG.Done()
+	defer j.cancel()
+	j.mu.Lock()
+	j.state = JobStateRunning
+	j.mu.Unlock()
+	items := s.runBatch(ctx, reqs, func(_ int, item BatchItem) {
+		j.progress(item)
+		s.jobs.itemsDone.Add(1)
+	})
+	j.finish(items, ctx.Err() != nil)
+}
+
+// JobStatus reports a job's state and progress; once the job is done
+// the response carries the per-item results, in request order.
+func (s *Service) JobStatus(id string) (*JobStatusResponse, error) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	return j.status(), nil
+}
+
+// CancelJob cancels a running job (its in-flight items abort between
+// draws, its queued items never start) and removes it from the store.
+// Deleting a finished job just removes it.
+func (s *Service) CancelJob(id string) error {
+	j, ok := s.jobs.remove(id)
+	if !ok {
+		return fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	j.cancel()
+	return nil
+}
+
+// jobGauges snapshots the job layer for the metrics endpoint.
+func (s *Service) jobGauges() JobMetrics {
+	st := s.jobs
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweep(time.Now())
+	m := JobMetrics{
+		MaxJobs:   st.max,
+		Stored:    len(st.jobs),
+		Evicted:   st.evicted,
+		ItemsDone: st.itemsDone.Load(),
+		Submitted: int64(st.seq),
+	}
+	for _, j := range st.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case JobStatePending:
+			m.Pending++
+		case JobStateRunning:
+			m.Running++
+		case JobStateDone:
+			m.Done++
+		case JobStateCancelled:
+			m.Cancelled++
+		}
+		j.mu.Unlock()
+	}
+	return m
+}

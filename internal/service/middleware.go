@@ -1,0 +1,189 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// The transport middleware stack. Order (outermost first) as applied by
+// NewHandler:
+//
+//	requestID → accessLog → recovery → mux → [per-route metrics → handler]
+//
+// requestID runs first so the access log and any panic report carry the
+// ID; recovery sits inside the log so a panicking handler still logs a
+// 500 line; per-route metrics wrap each route's handler individually,
+// so they key on the registered pattern rather than the raw URL.
+
+// middleware is a composable http.Handler wrapper.
+type middleware func(http.Handler) http.Handler
+
+// chain applies mws to h, first element outermost.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// requestIDHeader is the inbound/outbound request-ID header. Inbound
+// IDs (from a proxy or a retrying client) are preserved; otherwise one
+// is generated.
+const requestIDHeader = "X-Request-Id"
+
+// reqIDPrefix decorrelates IDs across processes; reqIDSeq across
+// requests within one.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Int64
+)
+
+// requestID ensures every request carries an ID, echoed on the response
+// so clients and logs can correlate.
+func requestID() middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(requestIDHeader)
+			if id == "" {
+				id = fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+				r.Header.Set(requestIDHeader, id)
+			}
+			w.Header().Set(requestIDHeader, id)
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusWriter captures the response status and size for logging and
+// metrics. WriteHeader-less handlers count as 200, like net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Status() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+// Flush passes through so streaming responses keep working behind the
+// middleware stack. Flushing commits the response (an implicit 200
+// when nothing was written yet), so recovery knows not to write a
+// second status into the stream.
+func (sw *statusWriter) Flush() {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessLog emits one structured line per request. A nil logger
+// disables the middleware entirely (no wrapper in the chain).
+func accessLog(logger *slog.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.Status(),
+				"bytes", sw.bytes,
+				"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+				"request_id", r.Header.Get(requestIDHeader),
+			)
+		})
+	}
+}
+
+// recovery turns a handler panic into a 500 with a JSON error body
+// (when nothing was written yet) instead of a torn connection, counts
+// it, and logs it with the request ID. The panic value stays out of the
+// response on purpose.
+func recovery(m *metrics, logger *slog.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			defer func() {
+				if v := recover(); v != nil {
+					m.panics.Add(1)
+					if logger != nil {
+						logger.Error("panic",
+							"method", r.Method,
+							"path", r.URL.Path,
+							"panic", fmt.Sprint(v),
+							"request_id", r.Header.Get(requestIDHeader),
+						)
+					}
+					if sw.status == 0 {
+						writeJSON(sw, http.StatusInternalServerError,
+							map[string]string{"error": "internal server error"})
+					}
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// routeMetrics maintains the per-route counters served by /v1/metrics.
+// Applied per registered route, so the key is the route pattern, not
+// the raw request path.
+func routeMetrics(rs *routeStats) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rs.requests.Add(1)
+			rs.inflight.Add(1)
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			defer func() {
+				rs.inflight.Add(-1)
+				if v := recover(); v != nil {
+					// A panicking handler becomes a 500 upstream (the
+					// recovery middleware wraps this one); count it as
+					// such here, then let recovery produce the response.
+					rs.observe(http.StatusInternalServerError, time.Since(start))
+					panic(v)
+				}
+				rs.observe(sw.Status(), time.Since(start))
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}

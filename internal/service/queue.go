@@ -1,0 +1,154 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated tags failures caused by the server being at capacity:
+// the admission queue is full, or an admitted request exhausted its
+// queue-wait budget before a worker slot freed. Transports should map
+// it to their "back off and retry" status (HTTP 429 with Retry-After).
+// Saturation is detected without blocking, so clients learn to back off
+// in O(1) instead of queueing indefinitely.
+var ErrSaturated = errors.New("server saturated")
+
+// ErrDraining tags requests rejected because the service is shutting
+// down: readiness has been withdrawn and no new work is admitted.
+// Transports should map it to their "service unavailable" status (503).
+var ErrDraining = errors.New("service draining")
+
+// queue is the admission/scheduling layer: a bounded admission gate in
+// front of a bounded execution-slot pool.
+//
+//   - slots bound execution: at most Workers goroutines sample at any
+//     moment, shared by single requests, batch entries, and async job
+//     items.
+//   - gate bounds the number of requests in the system (executing or
+//     waiting): beyond Workers+Depth, Admit fails fast with
+//     ErrSaturated instead of queueing — the explicit replacement for
+//     the old unbounded-blocking semaphore.
+//   - wait bounds how long an admitted synchronous request may sit in
+//     the queue before its first slot; past it the request fails with
+//     ErrSaturated rather than riding out arbitrary backlog. Async job
+//     items pass bounded=false and wait patiently — absorbing backlog
+//     is what jobs are for.
+type queue struct {
+	slots chan struct{} // execution slots, cap = Workers
+	gate  chan struct{} // admission tickets, cap = Workers + Depth
+	wait  time.Duration // queue-wait budget for bounded waiters
+
+	admitted atomic.Int64 // tickets currently held
+	inflight atomic.Int64 // slots currently held
+	waiting  atomic.Int64 // goroutines blocked for their first slot
+	rejected atomic.Int64 // cumulative ErrSaturated rejections
+}
+
+func newQueue(workers, depth int, wait time.Duration) *queue {
+	return &queue{
+		slots: make(chan struct{}, workers),
+		gate:  make(chan struct{}, workers+depth),
+		wait:  wait,
+	}
+}
+
+// Admit reserves an admission ticket without blocking. A full gate —
+// every execution slot busy and every queue position taken — returns
+// ErrSaturated immediately. Pair with Done.
+func (q *queue) Admit() error {
+	select {
+	case q.gate <- struct{}{}:
+		q.admitted.Add(1)
+		return nil
+	default:
+		q.rejected.Add(1)
+		return ErrSaturated
+	}
+}
+
+// Done returns the admission ticket taken by Admit.
+func (q *queue) Done() {
+	<-q.gate
+	q.admitted.Add(-1)
+}
+
+// WaitSlot blocks for one execution slot. Bounded waiters additionally
+// race the queue-wait budget and fail with ErrSaturated when it passes
+// first; unbounded waiters (async job items) wait until the slot frees
+// or ctx is cancelled. Pair with ReleaseSlots(1).
+func (q *queue) WaitSlot(ctx context.Context, bounded bool) error {
+	select {
+	case q.slots <- struct{}{}:
+		q.inflight.Add(1)
+		return nil
+	default:
+	}
+	q.waiting.Add(1)
+	defer q.waiting.Add(-1)
+	if !bounded {
+		select {
+		case q.slots <- struct{}{}:
+			q.inflight.Add(1)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	timer := time.NewTimer(q.wait)
+	defer timer.Stop()
+	select {
+	case q.slots <- struct{}{}:
+		q.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		q.rejected.Add(1)
+		return ErrSaturated
+	}
+}
+
+// TryExtra opportunistically grabs up to max additional execution slots
+// without blocking — the best-of-m fan-out takes free capacity, never
+// queues for it. Returns the number taken; release with ReleaseSlots.
+func (q *queue) TryExtra(max int) int {
+	n := 0
+	for n < max {
+		select {
+		case q.slots <- struct{}{}:
+			n++
+			q.inflight.Add(1)
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// ReleaseSlots frees n execution slots.
+func (q *queue) ReleaseSlots(n int) {
+	for i := 0; i < n; i++ {
+		<-q.slots
+	}
+	q.inflight.Add(int64(-n))
+}
+
+// RetryAfter is the back-off hint served with saturation rejections:
+// the queue-wait budget rounded up to whole seconds (at least 1s).
+func (q *queue) RetryAfter() time.Duration {
+	d := q.wait.Round(time.Second)
+	if d < q.wait {
+		d += time.Second
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// gauges snapshots the queue for the metrics endpoint.
+func (q *queue) gauges() (admitted, inflight, waiting, rejected int64) {
+	return q.admitted.Load(), q.inflight.Load(), q.waiting.Load(), q.rejected.Load()
+}

@@ -1,22 +1,35 @@
-// Package service is the serving layer over the fairrank library: typed
-// request/response DTOs, request validation, a cache of reusable
-// fairrank.Ranker engines keyed by configuration, and a bounded worker
-// pool that both fans a single request's best-of-m Mallows draws across
-// idle workers and ranks the independent requests of a batch
-// concurrently. cmd/fairrankd exposes it over HTTP; the package itself
-// is transport-agnostic so other frontends (gRPC, queues) can reuse it.
+// Package service is the serving layer over the fairrank library,
+// organized as a four-layer pipeline:
+//
+//	transport  → composable HTTP middleware (request IDs, access logs,
+//	             panic recovery, per-route metrics) over a rebuilt mux
+//	admission  → a bounded queue in front of the worker pool: fast
+//	             ErrSaturated (HTTP 429 + Retry-After) instead of
+//	             unbounded blocking, with a queue-wait budget
+//	jobs       → an async job store + supervisor: submit a batch, poll
+//	             progress, fetch results, cancel; items drain through
+//	             the same admission queue as synchronous traffic
+//	engine     → typed DTOs, validation, and a cache of reusable
+//	             fairrank.Ranker engines keyed by base configuration
+//
+// cmd/fairrankd exposes it over HTTP; the package itself is
+// transport-agnostic so other frontends (gRPC, queues) can reuse it.
 //
 // Responses are deterministic: equal requests with equal seeds produce
-// equal rankings, regardless of worker count or batch position.
+// equal rankings, regardless of worker count, batch position, or
+// sync-vs-async submission.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	fairrank "repro"
 )
@@ -34,13 +47,38 @@ func invalidf(format string, args ...any) error {
 type Config struct {
 	// Workers bounds the service's total ranking concurrency: at most
 	// Workers goroutines sample at any moment, shared between the
-	// parallel best-of-m draws of single requests and the entries of
-	// batches. Default GOMAXPROCS.
+	// parallel best-of-m draws of single requests, the entries of
+	// batches, and async job items. Default GOMAXPROCS.
 	Workers int
 	// MaxCandidates rejects larger candidate pools. Default 100000.
 	MaxCandidates int
-	// MaxBatch rejects larger batches. Default 1024.
+	// MaxBatch rejects larger batches (sync and per job). Default 1024.
 	MaxBatch int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker slot beyond the Workers already executing. At the bound,
+	// admission fails fast with ErrSaturated (HTTP 429 + Retry-After)
+	// instead of blocking. Default 4×Workers.
+	QueueDepth int
+	// QueueWait is the per-request deadline budget inside the admission
+	// queue: the longest an admitted synchronous request — a single
+	// rank, or a batch at its start — may wait for a worker slot before
+	// failing with ErrSaturated. Entries of a batch that has started
+	// are exempt (an admitted batch completes whole rather than
+	// dropping items mid-flight), as are async job items — absorbing
+	// backlog is what jobs are for. Default 10s.
+	QueueWait time.Duration
+	// MaxJobs bounds concurrently stored async jobs (running or
+	// retained finished). At the bound, submissions fail with
+	// ErrSaturated. Default 64.
+	MaxJobs int
+	// JobTTL evicts finished (done or cancelled) jobs this long after
+	// completion; eviction is lazy, on the next job-store access.
+	// Default 10m.
+	JobTTL time.Duration
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request from the transport middleware. Nil disables access
+	// logging (the default — tests and embedded uses stay quiet).
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +90,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
 	}
 	return c
 }
@@ -77,8 +127,23 @@ type rankerKey struct {
 
 // Service ranks requests. Construct with New; safe for concurrent use.
 type Service struct {
-	cfg Config
-	sem chan struct{} // one slot per concurrently sampling goroutine
+	cfg   Config
+	queue *queue // admission/scheduling layer over the worker pool
+	jobs  *jobStore
+	stats *metrics // per-route transport counters, shared with the handler
+
+	draining atomic.Bool // readiness withdrawn; no new work admitted
+
+	jobsCtx    context.Context // parent of every job's context
+	jobsCancel context.CancelFunc
+	// drainMu orders job admission against the drain flip: SubmitJob
+	// checks draining and registers with jobsWG under it, BeginDrain
+	// sets the flag under it. Any submission therefore either completes
+	// its jobsWG.Add before BeginDrain returns — and is awaited by
+	// DrainJobs — or observes draining and is refused; jobsWG.Add can
+	// never race jobsWG.Wait.
+	drainMu sync.Mutex
+	jobsWG  sync.WaitGroup // one per live job supervisor
 
 	mu      sync.Mutex
 	rankers map[rankerKey]*fairrank.Ranker
@@ -87,53 +152,99 @@ type Service struct {
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Service{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.Workers),
-		rankers: make(map[rankerKey]*fairrank.Ranker),
+		cfg:        cfg,
+		queue:      newQueue(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
+		jobs:       newJobStore(cfg.MaxJobs, cfg.JobTTL),
+		stats:      newMetrics(),
+		jobsCtx:    ctx,
+		jobsCancel: cancel,
+		rankers:    make(map[rankerKey]*fairrank.Ranker),
 	}
 }
 
-// Rank serves one ranking request. The best-of-m Mallows draws run on as
-// many idle workers as the pool has free (at least one); the worker
-// count never changes the result.
+// BeginDrain withdraws readiness: /readyz turns 503 and new job
+// submissions are rejected with ErrDraining, while in-flight requests
+// and already-accepted jobs keep running. Call it on SIGTERM before
+// http.Server.Shutdown so load balancers stop routing first. Once it
+// returns, every job DrainJobs must wait for has already registered.
+func (s *Service) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// DrainJobs blocks until every accepted job reaches a terminal state,
+// or ctx expires. It does not cancel anything; pair with Close for the
+// hard stop after the grace period.
+func (s *Service) DrainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels every still-running job and waits for their supervisors
+// to exit. The Service must not be used afterwards.
+func (s *Service) Close() {
+	s.BeginDrain()
+	s.jobsCancel()
+	s.jobsWG.Wait()
+}
+
+// Rank serves one ranking request through the admission queue. The
+// best-of-m Mallows draws run on as many idle workers as the pool has
+// free (at least one); the worker count never changes the result. A
+// saturated queue fails fast with ErrSaturated — but validation runs
+// first, so an invalid request is a 400 whatever the load, and never
+// consumes an admission ticket.
 func (s *Service) Rank(ctx context.Context, req *RankRequest) (*RankResponse, error) {
-	return s.rank(ctx, req, s.cfg.Workers)
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	if err := s.queue.Admit(); err != nil {
+		return nil, err
+	}
+	defer s.queue.Done()
+	return s.rank(ctx, req, s.cfg.Workers, true)
 }
 
 // RankBatch serves independent requests concurrently through the worker
 // pool and returns one BatchItem per request, in request order. Entries
 // fail independently: a bad request yields an Error item without
-// affecting its neighbors.
+// affecting its neighbors. The batch occupies one admission-queue
+// position as a whole and is budget-bounded at its start like any sync
+// request: a saturated queue (full gate, or no execution slot freeing
+// within QueueWait) rejects it up front with ErrSaturated — whole,
+// never by dropping entries mid-batch. Once work begins, entries wait
+// for slots without a budget, so an admitted batch always completes.
 func (s *Service) RankBatch(ctx context.Context, batch *BatchRequest) (*BatchResponse, error) {
-	if len(batch.Requests) == 0 {
-		return nil, invalidf("empty batch")
+	if err := s.validateBatch(batch); err != nil {
+		return nil, err
 	}
-	if len(batch.Requests) > s.cfg.MaxBatch {
-		return nil, invalidf("batch of %d requests exceeds the limit of %d", len(batch.Requests), s.cfg.MaxBatch)
+	if err := s.queue.Admit(); err != nil {
+		return nil, err
 	}
-	items := make([]BatchItem, len(batch.Requests))
-	var wg sync.WaitGroup
-	for i := range batch.Requests {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			// One pool slot per entry: entries parallelize across the
-			// pool, draws within an entry stay sequential. DoParallel
-			// results are worker-invariant, so an entry ranks identically
-			// here and as a single request. ctx flows through to the
-			// sampling loop, so cancelling the batch aborts every entry
-			// promptly — queued entries at admission, running entries
-			// between draws.
-			resp, err := s.rank(ctx, &batch.Requests[i], 1)
-			if err != nil {
-				items[i] = BatchItem{Error: err.Error()}
-				return
-			}
-			items[i] = BatchItem{Response: resp}
-		}(i)
+	defer s.queue.Done()
+	// The budget probe: refuse the whole batch while the pool is wedged
+	// rather than holding the connection open indefinitely. The probe
+	// slot is returned immediately — entries acquire their own.
+	if err := s.queue.WaitSlot(ctx, true); err != nil {
+		return nil, err
 	}
-	wg.Wait()
+	s.queue.ReleaseSlots(1)
+	items := s.runBatch(ctx, batch.Requests, nil)
 	// A cancelled batch is a transport-level failure of the whole call,
 	// not N independent entry failures: report it as such so the HTTP
 	// layer maps it to 499 rather than 200-with-error-items.
@@ -143,13 +254,81 @@ func (s *Service) RankBatch(ctx context.Context, batch *BatchRequest) (*BatchRes
 	return &BatchResponse{Items: items}, nil
 }
 
-func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*RankResponse, error) {
+// validateBatch rejects malformed batches before admission.
+func (s *Service) validateBatch(batch *BatchRequest) error {
+	if len(batch.Requests) == 0 {
+		return invalidf("empty batch")
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		return invalidf("batch of %d requests exceeds the limit of %d", len(batch.Requests), s.cfg.MaxBatch)
+	}
+	return nil
+}
+
+// runBatch ranks every request into its BatchItem, in order, with at
+// most Workers entries in flight at once (each entry still takes an
+// execution slot, so total sampling concurrency never exceeds the
+// pool). Entries of an admitted batch wait for slots without a budget:
+// admission control already happened at the batch boundary, so entries
+// can never be dropped mid-batch by saturation. onItem, when non-nil,
+// observes each completed entry (the async job layer's progress hook).
+//
+// One entry ranks identically here, as a single request, and as a job
+// item: DoParallel results are worker-invariant and every path resolves
+// the same per-request seed.
+func (s *Service) runBatch(ctx context.Context, reqs []RankRequest, onItem func(i int, item BatchItem)) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	fan := s.cfg.Workers
+	if fan > len(reqs) {
+		fan = len(reqs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < fan; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// One pool slot per entry: entries parallelize across the
+				// pool, draws within an entry stay sequential. ctx flows
+				// through to the sampling loop, so cancelling the batch
+				// aborts every entry promptly — queued entries at slot
+				// wait, running entries between draws. Validation runs
+				// before the slot wait, so a bad entry fails without
+				// touching the pool.
+				var resp *RankResponse
+				err := s.validate(&reqs[i])
+				if err == nil {
+					resp, err = s.rank(ctx, &reqs[i], 1, false)
+				}
+				if err != nil {
+					items[i] = BatchItem{Error: err.Error()}
+				} else {
+					items[i] = BatchItem{Response: resp}
+				}
+				if onItem != nil {
+					onItem(i, items[i])
+				}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return items
+}
+
+// rank is the engine-layer serving path shared by the sync single,
+// sync batch, and async job paths; callers have already validated the
+// request. bounded selects the admission queue's wait mode:
+// synchronous requests race the queue-wait budget, admitted batch
+// entries and job items wait patiently.
+func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int, bounded bool) (*RankResponse, error) {
 	// An already-cancelled request (a disconnected client, an expired
 	// deadline, an aborted batch) does no work at all.
 	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if err := s.validate(req); err != nil {
 		return nil, err
 	}
 	ranker, err := s.ranker(req.key(), req.baseConfig())
@@ -161,11 +340,11 @@ func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int) (*
 	if p := parallelism(req); p < maxWorkers {
 		maxWorkers = p
 	}
-	workers, err := s.acquireUpTo(ctx, maxWorkers)
-	if err != nil {
+	if err := s.queue.WaitSlot(ctx, bounded); err != nil {
 		return nil, err
 	}
-	defer s.release(workers)
+	workers := 1 + s.queue.TryExtra(maxWorkers-1)
+	defer s.queue.ReleaseSlots(workers)
 	cands := make([]fairrank.Candidate, len(req.Candidates))
 	for i, c := range req.Candidates {
 		cands[i] = fairrank.Candidate{ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
@@ -321,36 +500,6 @@ func (s *Service) ranker(key rankerKey, cfg fairrank.Config) (*fairrank.Ranker, 
 	}
 	s.rankers[key] = r
 	return r, nil
-}
-
-// acquireUpTo takes between 1 and max worker slots: it blocks for the
-// first and opportunistically grabs free ones up to max. It returns the
-// number taken, to be released with release.
-func (s *Service) acquireUpTo(ctx context.Context, max int) (int, error) {
-	if max < 1 {
-		max = 1
-	}
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return 0, ctx.Err()
-	}
-	n := 1
-	for n < max {
-		select {
-		case s.sem <- struct{}{}:
-			n++
-		default:
-			return n, nil
-		}
-	}
-	return n, nil
-}
-
-func (s *Service) release(n int) {
-	for i := 0; i < n; i++ {
-		<-s.sem
-	}
 }
 
 // Catalog describes the rankable surface — every algorithm, noise

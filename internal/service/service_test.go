@@ -210,9 +210,10 @@ func TestBatchPartialFailure(t *testing.T) {
 
 func TestRankCanceledContext(t *testing.T) {
 	s := New(Config{Workers: 1})
-	// Fill the only slot so acquire must block, then cancel.
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	// Fill the only execution slot so the slot wait must block, then
+	// cancel.
+	s.queue.slots <- struct{}{}
+	defer func() { <-s.queue.slots }()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := s.Rank(ctx, &RankRequest{Candidates: pool(5)})

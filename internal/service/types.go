@@ -136,6 +136,110 @@ type BatchResponse struct {
 	Items []BatchItem `json:"items"`
 }
 
+// JobSubmitResponse answers POST /v1/jobs/rank: the accepted job's ID
+// and where to poll it.
+type JobSubmitResponse struct {
+	// ID names the job for GET/DELETE /v1/jobs/{id}.
+	ID string `json:"id"`
+	// Total is the number of batch entries the job will rank.
+	Total int `json:"total"`
+	// StatusURL is the polling endpoint for this job.
+	StatusURL string `json:"status_url"`
+}
+
+// JobStatusResponse answers GET /v1/jobs/{id}: the job's state and
+// per-item progress, plus the results once the job is done.
+type JobStatusResponse struct {
+	ID string `json:"id"`
+	// State is "pending", "running", "done", or "cancelled".
+	State string `json:"state"`
+	// Total, Completed, and Failed report per-item progress: Completed
+	// counts items that finished (successfully or not), Failed the
+	// subset that returned an error.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Items carries the per-entry results, in request order, once the
+	// job reaches "done"; omitted in every other state. Cancelled jobs
+	// never serve items.
+	Items []BatchItem `json:"items,omitempty"`
+}
+
+// MetricsResponse answers GET /v1/metrics: per-route transport
+// counters, admission-queue gauges, async-job gauges, and engine
+// counters, all as plain JSON so any scraper can consume them.
+type MetricsResponse struct {
+	// Routes lists one counter set per registered route, sorted by
+	// route pattern.
+	Routes []RouteMetrics `json:"routes"`
+	// Queue reports the admission/scheduling layer.
+	Queue QueueMetrics `json:"queue"`
+	// Jobs reports the async job layer.
+	Jobs JobMetrics `json:"jobs"`
+	// Engine aggregates fairrank.Ranker counters over the currently
+	// cached engines (an evicted engine takes its counts with it).
+	Engine EngineMetrics `json:"engine"`
+	// Panics counts handler panics absorbed by the recovery middleware.
+	Panics int64 `json:"panics"`
+}
+
+// RouteMetrics is the transport counter set of one route.
+type RouteMetrics struct {
+	Route     string `json:"route"`
+	Requests  int64  `json:"requests"`
+	InFlight  int64  `json:"in_flight"`
+	Errors4xx int64  `json:"errors_4xx"`
+	Errors5xx int64  `json:"errors_5xx"`
+	// LatencyMsSum / Requests is the mean handler latency; LatencyMsMax
+	// the worst observed.
+	LatencyMsSum float64 `json:"latency_ms_sum"`
+	LatencyMsMax float64 `json:"latency_ms_max"`
+}
+
+// QueueMetrics reports the admission queue: static shape (workers,
+// depth, wait budget) and live gauges.
+type QueueMetrics struct {
+	Workers     int     `json:"workers"`
+	Depth       int     `json:"depth"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	// Admitted counts requests currently in the system (executing or
+	// queued); InFlight execution slots held; Queued goroutines blocked
+	// waiting for their first slot; Rejected cumulative saturation
+	// rejections (fast 429s).
+	Admitted int64 `json:"admitted"`
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+}
+
+// JobMetrics reports the async job layer.
+type JobMetrics struct {
+	MaxJobs int `json:"max_jobs"`
+	// Stored counts jobs currently held (any state); the per-state
+	// gauges partition it.
+	Stored    int `json:"stored"`
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Cancelled int `json:"cancelled"`
+	// Submitted counts jobs ever accepted; Evicted those dropped by the
+	// TTL sweep; ItemsDone individual batch entries completed across
+	// all jobs.
+	Submitted int64 `json:"submitted"`
+	Evicted   int64 `json:"evicted"`
+	ItemsDone int64 `json:"items_done"`
+}
+
+// EngineMetrics aggregates fairrank.RankerStats over the cached
+// engines, plus the cache's own size.
+type EngineMetrics struct {
+	RankersCached int   `json:"rankers_cached"`
+	Requests      int64 `json:"requests"`
+	Draws         int64 `json:"draws"`
+	TableHits     int64 `json:"table_hits"`
+	TableMisses   int64 `json:"table_misses"`
+}
+
 // CatalogResponse answers GET /v1/algorithms: the supported algorithms,
 // noise mechanisms, central rankings, and selection criteria with their
 // defaults, so clients can introspect the rankable surface instead of

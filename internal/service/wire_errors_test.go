@@ -6,12 +6,14 @@ package service
 // change.
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // wantErrorBody renders the exact bytes the handler writes for an
@@ -140,6 +142,91 @@ func TestWireMalformedJSONExactStatus(t *testing.T) {
 	}
 	if !strings.HasPrefix(rec.Body.String(), `{"error":"malformed JSON: `) {
 		t.Errorf("body %q does not carry the malformed-JSON prefix", rec.Body.String())
+	}
+}
+
+// TestWireContextStatusCodes pins the cancellation-vs-deadline wire
+// contract: a client that went away gets nginx's 499, while a deadline
+// that expired server-side is a gateway timeout, 504 — they are
+// different failures and clients retry them differently. Both bodies
+// carry the exact context error string.
+func TestWireContextStatusCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		ctx        func(t *testing.T) context.Context
+		wantStatus int
+		wantBody   string
+	}{
+		{
+			name: "client cancellation is 499",
+			ctx: func(t *testing.T) context.Context {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				return ctx
+			},
+			wantStatus: 499,
+			wantBody:   "context canceled",
+		},
+		{
+			name: "deadline expiry is 504",
+			ctx: func(t *testing.T) context.Context {
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				t.Cleanup(cancel)
+				return ctx
+			},
+			wantStatus: http.StatusGatewayTimeout,
+			wantBody:   "context deadline exceeded",
+		},
+	}
+	body := `{"candidates": ` + candidatesJSON + `, "seed": 1}`
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHandler(New(Config{Workers: 2}))
+			req := httptest.NewRequest(http.MethodPost, "/v1/rank", strings.NewReader(body))
+			req = req.WithContext(tc.ctx(t))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body %s", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if got, want := rec.Body.String(), wantErrorBody(t, tc.wantBody); got != want {
+				t.Errorf("body = %q, want exactly %q", got, want)
+			}
+		})
+	}
+}
+
+// TestWireSaturationExact pins the 429 contract: exact error body and a
+// Retry-After header carrying the queue-wait budget in whole seconds.
+func TestWireSaturationExact(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, QueueWait: 2 * time.Second})
+	defer s.Close()
+	h := NewHandler(s)
+	release := fillGate(s)
+	defer release()
+	req := httptest.NewRequest(http.MethodPost, "/v1/rank",
+		strings.NewReader(`{"candidates": `+candidatesJSON+`, "seed": 1}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if got, want := rec.Body.String(), wantErrorBody(t, "server saturated"); got != want {
+		t.Errorf("body = %q, want exactly %q", got, want)
+	}
+}
+
+// TestWireJobNotFoundExact pins the 404 contract of the job routes.
+func TestWireJobNotFoundExact(t *testing.T) {
+	rec := serve(t, http.MethodGet, "/v1/jobs/job-000042", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+	if got, want := rec.Body.String(), wantErrorBody(t, `not found: job "job-000042"`); got != want {
+		t.Errorf("body = %q, want exactly %q", got, want)
 	}
 }
 

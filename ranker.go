@@ -43,6 +43,40 @@ type Ranker struct {
 	discounts sync.Map   // n → []float64
 	numDiscs  atomic.Int32
 	rngs      sync.Pool
+
+	// Lightweight per-call counters behind Stats: serving layers read
+	// them for observability without a second pass over the work done.
+	statRequests    atomic.Int64
+	statDraws       atomic.Int64
+	statTableHits   atomic.Int64
+	statTableMisses atomic.Int64
+}
+
+// RankerStats is a point-in-time snapshot of a Ranker's cumulative
+// counters, for metrics endpoints and capacity planning. Counters only
+// ever grow; two snapshots subtract into a rate.
+type RankerStats struct {
+	// Requests counts calls that reached ranking (Do, DoParallel, and
+	// the legacy wrappers), successful or not.
+	Requests int64
+	// Draws counts noise permutations drawn and scored across all
+	// requests (0 for deterministic algorithms).
+	Draws int64
+	// TableHits and TableMisses count lookups of the amortized
+	// per-(n, θ) Mallows table cache: a miss paid the table build.
+	TableHits   int64
+	TableMisses int64
+}
+
+// Stats snapshots the Ranker's cumulative counters. Safe for concurrent
+// use; the counters are updated atomically on the serving path.
+func (r *Ranker) Stats() RankerStats {
+	return RankerStats{
+		Requests:    r.statRequests.Load(),
+		Draws:       r.statDraws.Load(),
+		TableHits:   r.statTableHits.Load(),
+		TableMisses: r.statTableMisses.Load(),
+	}
 }
 
 // maxSizeStates caps the per-(n, θ) cache: a size-state costs O(n)
@@ -217,8 +251,10 @@ func (r *Ranker) criterion(cfg Config, in rankers.Instance) (func(perm.Perm) (fl
 func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
 	key := sizeKey{n: n, theta: theta}
 	if v, ok := r.states.Load(key); ok {
+		r.statTableHits.Add(1)
 		return v.(*sizeState), nil
 	}
+	r.statTableMisses.Add(1)
 	tab, err := mallows.NewTables(n, theta)
 	if err != nil {
 		return nil, err

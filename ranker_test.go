@@ -228,6 +228,53 @@ func TestRankerSizeCacheCap(t *testing.T) {
 	}
 }
 
+// The Stats hook counts what the engine actually did: requests served,
+// draws executed, and table-cache hits/misses — the counters the
+// serving layer's /v1/metrics aggregates.
+func TestRankerStats(t *testing.T) {
+	pool := germanPool(t, 20)
+	r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest, Samples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st != (RankerStats{}) {
+		t.Fatalf("fresh Ranker has nonzero stats: %+v", st)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		if _, err := r.Rank(pool, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Requests != 3 {
+		t.Errorf("requests = %d, want 3", st.Requests)
+	}
+	if st.Draws != 15 {
+		t.Errorf("draws = %d, want 15 (3 requests × 5 samples)", st.Draws)
+	}
+	if st.TableMisses != 1 || st.TableHits != 2 {
+		t.Errorf("table hits/misses = %d/%d, want 2/1", st.TableHits, st.TableMisses)
+	}
+	// A second pool size pays exactly one more table build.
+	if _, err := r.Rank(germanPool(t, 35), 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.TableMisses != 2 {
+		t.Errorf("table misses after a new size = %d, want 2", st.TableMisses)
+	}
+	// Deterministic algorithms draw nothing.
+	det, err := NewRanker(Config{Algorithm: AlgorithmScoreSorted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Rank(pool, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := det.Stats(); st.Requests != 1 || st.Draws != 0 {
+		t.Errorf("deterministic stats %+v, want 1 request, 0 draws", st)
+	}
+}
+
 func sameRanking(a, b []Candidate) bool {
 	if len(a) != len(b) {
 		return false

@@ -139,6 +139,7 @@ func (r *Ranker) DoParallel(ctx context.Context, req Request, workers int) (*Res
 // do is the single serving path behind Do (workers = 0, sequential
 // stream) and DoParallel (workers ≥ 1, per-draw derived streams).
 func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, error) {
+	r.statRequests.Add(1)
 	cfg, topK, err := r.resolve(req)
 	if err != nil {
 		return nil, err
@@ -223,6 +224,7 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 			return nil, 0, false, 0, "", err
 		}
 		draws = samples
+		r.statDraws.Add(int64(draws))
 	} else {
 		strat, serr := entry.factory(cfg)
 		if serr != nil {
