@@ -1,0 +1,77 @@
+package fairrank
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestDoSteadyStateZeroAllocPerDraw pins the allocation-free draw path:
+// on a warm Ranker the marginal heap cost of a draw must be zero — all
+// per-draw state (sample buffers, criterion scratch, RNGs) comes from
+// pools built per request or cached per size. Per-request setup may
+// allocate; per-draw must not.
+//
+// The measurement is differential: the same request at Samples = 1 and
+// Samples = 1+extraDraws, so every per-request constant (instance
+// build, result assembly, diagnostics) cancels and only the per-draw
+// marginal remains. If pooling breaks, this fails loudly with the
+// per-draw allocation count so the offending path is obvious.
+func TestDoSteadyStateZeroAllocPerDraw(t *testing.T) {
+	const n = 64
+	const extraDraws = 100
+	cases := []struct {
+		name      string
+		criterion Criterion
+		theta     float64
+		topK      int // 0 = full ranking
+	}{
+		{"ndcg/full", CriterionNDCG, 1.2, 0},
+		{"ndcg/topk", CriterionNDCG, 1.2, 8},
+		{"kt/full", CriterionKT, 1.2, 0},
+		{"kt/topk", CriterionKT, 1.2, 8},
+		{"uniform/topk", CriterionNDCG, 0, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest, Criterion: c.criterion})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := pool(n)
+			run := func(samples int) func() {
+				req := Request{
+					Candidates: cands,
+					Theta:      &c.theta,
+					Samples:    &samples,
+					Seed:       sptr(11),
+				}
+				if c.topK > 0 {
+					req.TopK = iptr(c.topK)
+				}
+				return func() {
+					if _, err := r.Do(context.Background(), req); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Warm the caches off the measurement: tables, discounts,
+			// scratch pools, RNG pool.
+			run(1)()
+			base := testing.AllocsPerRun(20, run(1))
+			long := testing.AllocsPerRun(20, run(1+extraDraws))
+			perDraw := (long - base) / extraDraws
+			if perDraw >= 0.5 {
+				t.Fatal(allocReport(perDraw, base, long))
+			}
+		})
+	}
+}
+
+// allocReport spells out the failure so a pooling regression is
+// diagnosable from the test log alone.
+func allocReport(perDraw, base, long float64) string {
+	return fmt.Sprintf(
+		"steady-state Do allocates %.2f heap objects PER DRAW (%.1f allocs at 1 sample vs %.1f at 101) — the draw path must be allocation-free; look for a buffer, scratch slice, or closure that escaped the per-request pools into the best-of-m loop",
+		perDraw, base, long)
+}

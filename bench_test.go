@@ -392,6 +392,51 @@ func BenchmarkMallowsSample(b *testing.B) {
 	}
 }
 
+// BenchmarkTopKTruncated is the case for the lazy top-k draw path at
+// serving scale (n = 1e5, k = 10): "full/insert" and "full/fenwick" are
+// the two full-length reference samplers, "truncated" the bounded-window
+// sampler that materializes only the delivered prefix. All three reuse
+// tables and scratch, so the numbers isolate the draw itself; the CI
+// bench-smoke step fails the build if the truncated line disappears or
+// stops beating the full path. The truncated draw must also report
+// 0 allocs/op — it is the engine's steady-state TopK path.
+func BenchmarkTopKTruncated(b *testing.B) {
+	const n, k = 100000, 10
+	model, err := mallows.New(perm.Identity(n), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := model.Tables()
+	b.Run("full/insert", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		out := make(perm.Perm, 0, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = model.SampleInto(tables, out, rng)
+		}
+	})
+	b.Run("full/fenwick", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		fs := model.NewFastSampler(tables)
+		out := make(perm.Perm, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = fs.SampleInto(out, rng)
+		}
+	})
+	b.Run("truncated", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		out := make(perm.Perm, 0, k)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = model.SampleTopKInto(tables, k, out, rng)
+		}
+	})
+}
+
 func BenchmarkKendallTau(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000} {
 		b.Run(benchName("n", n), func(b *testing.B) {

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	fairrank "repro"
 	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/stats"
@@ -70,6 +71,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
 	algorithms := flag.String("algorithms", string(service.Catalog().Defaults.Algorithm), "comma-separated algorithms to rotate through")
 	topK := flag.Int("topk", 10, "top_k per request (bounds response size on large pools); 0 requests full rankings")
+	topkFrac := flag.Float64("topk-frac", 1, "fraction of requests carrying -topk; the rest request full rankings, so a mixed run exercises both draw paths")
 	batchEvery := flag.Int("batch-every", 10, "every k-th request goes to /v1/rank/batch (0 disables batches)")
 	batchSize := flag.Int("batch-size", 4, "entries per batch request")
 	cancelFrac := flag.Float64("cancel", 0, "fraction of requests cancelled client-side mid-flight (injection)")
@@ -101,6 +103,9 @@ func main() {
 	if *cancelFrac < 0 || *cancelFrac > 1 {
 		log.Fatalf("-cancel = %v, want within [0, 1]", *cancelFrac)
 	}
+	if *topkFrac < 0 || *topkFrac > 1 {
+		log.Fatalf("-topk-frac = %v, want within [0, 1]", *topkFrac)
+	}
 	if *cancelAfter < 0 {
 		log.Fatalf("-cancel-after = %v, want ≥ 0", *cancelAfter)
 	}
@@ -129,6 +134,7 @@ func main() {
 		batchSize:   *batchSize,
 		cancelFrac:  *cancelFrac,
 		cancelAfter: *cancelAfter,
+		topkFrac:    *topkFrac,
 		seed:        *seed,
 		counts:      map[string]*routeCount{},
 	}
@@ -139,11 +145,20 @@ func main() {
 		// An exclusive in-process server lets the client hold the
 		// observability layer to account: every request the client
 		// completed must appear in the server's own route counters.
-		if err := run.reconcileMetrics(); err != nil {
+		m, err := run.reconcileMetrics()
+		if err != nil {
 			log.Fatalf("metrics reconciliation: %v", err)
 		}
 		summary.MetricsReconciled = true
 		log.Printf("server /v1/metrics route counters reconcile with the client's request counts")
+		// Same pact one layer down: the engine's draw-path split must
+		// reconcile with the draws the client's requests imply.
+		if err := run.reconcileDrawPaths(m); err != nil {
+			log.Fatalf("draw-path reconciliation: %v", err)
+		}
+		summary.DrawPathReconciled = true
+		log.Printf("engine draw-path counters reconcile: %d full + %d truncated draws",
+			m.Engine.DrawsFull, m.Engine.DrawsTruncated)
 	}
 
 	w := io.Writer(os.Stdout)
@@ -168,11 +183,18 @@ func main() {
 // target is one pre-encoded (spec, algorithm) request template: the
 // candidates are marshaled once per spec, so the load generator's own
 // JSON encoding cost stays off the measured hot path as far as possible.
+// drawsPerItem and mallows come from the fairrank registry and the
+// serving defaults — how many engine draws one ranked item implies and
+// whether they run on the Mallows path (the one with a truncated
+// top-k variant) — so the client can predict the server's draw-path
+// counters without hardcoding per-algorithm knowledge.
 type target struct {
-	spec       scenario.Spec
-	algorithm  string
-	candidates json.RawMessage
-	topK       int
+	spec         scenario.Spec
+	algorithm    string
+	candidates   json.RawMessage
+	topK         int
+	drawsPerItem int64
+	mallows      bool
 }
 
 // wireRequest mirrors service.RankRequest with pre-encoded candidates.
@@ -188,6 +210,7 @@ type wireBatch struct {
 }
 
 func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]target, error) {
+	defaults := service.Catalog().Defaults
 	var out []target
 	for _, spec := range specs {
 		pool, err := spec.Generate()
@@ -207,7 +230,24 @@ func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]targe
 			if algo == "" {
 				continue
 			}
-			out = append(out, target{spec: spec, algorithm: algo, candidates: raw, topK: topK})
+			tgt := target{spec: spec, algorithm: algo, candidates: raw, topK: topK}
+			// Registry-driven draw accounting: strategy algorithms draw
+			// nothing, single-sample mechanisms draw once, best-of
+			// mechanisms draw the serving default Samples per item. The
+			// requests here never override noise, so an unpinned
+			// mechanism resolves to the serving default.
+			if info, ok := fairrank.LookupAlgorithm(algo); ok && info.Sampling {
+				tgt.drawsPerItem = 1
+				if info.BestOf {
+					tgt.drawsPerItem = int64(defaults.Samples)
+				}
+				noise := string(info.Noise)
+				if noise == "" {
+					noise = defaults.Noise
+				}
+				tgt.mallows = noise == string(fairrank.NoiseMallows)
+			}
+			out = append(out, tgt)
 		}
 	}
 	if len(out) == 0 {
@@ -216,12 +256,17 @@ func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]targe
 	return out, nil
 }
 
-// sample is one measured request.
+// sample is one measured request. drawsFull/drawsTrunc are the engine
+// draws the request implies per path if it completes — the client's
+// side of the draw-path ledger (a cancelled or failed request may have
+// contributed anywhere from zero up to that many).
 type sample struct {
-	endpoint  string
-	latency   time.Duration
-	cancelled bool
-	failure   string // empty on success
+	endpoint   string
+	latency    time.Duration
+	cancelled  bool
+	failure    string // empty on success
+	drawsFull  int64
+	drawsTrunc int64
 }
 
 // routeCount is the client's own ledger for one server route pattern:
@@ -243,6 +288,7 @@ type soakRun struct {
 	batchSize   int
 	cancelFrac  float64
 	cancelAfter time.Duration
+	topkFrac    float64
 	seed        int64
 
 	mu      sync.Mutex
@@ -267,6 +313,10 @@ type Summary struct {
 	// counters were checked against the client's ledger (spawned runs
 	// only; a mismatch fails the run before this line is written).
 	MetricsReconciled bool `json:"MetricsReconciled"`
+	// DrawPathReconciled reports that the engine's full/truncated
+	// draw-path split landed inside the bounds implied by the client's
+	// per-request draw ledger (spawned runs only).
+	DrawPathReconciled bool `json:"DrawPathReconciled"`
 }
 
 // EndpointReport is the per-endpoint soak result, serialized as one
@@ -351,23 +401,55 @@ func (r *soakRun) countDone(route string) {
 	r.mu.Unlock()
 }
 
-// send issues request i in the run's mode.
-func (r *soakRun) send(i int, rng *rand.Rand) sample {
-	if r.mode == "jobs" {
-		return r.sendJob(i, rng)
+// pickTopK decides whether logical request i carries the TopK cap: an
+// i-based slice (not an RNG roll), so the topk/full mix of a run is
+// deterministic and the client can bound the server's draw-path
+// counters exactly.
+func (r *soakRun) pickTopK(tgt target, i int) int {
+	if tgt.topK <= 0 {
+		return 0
 	}
-	return r.sendSync(i, rng)
+	if i%100 < int(r.topkFrac*100+0.5) {
+		return tgt.topK
+	}
+	return 0
+}
+
+// send issues request i in the run's mode and stamps the sample with
+// the draws it implies, split by path: the engine truncates exactly
+// when the Mallows sampler runs under a true prefix (k < n — the
+// server clamps k ≥ n to a full ranking).
+func (r *soakRun) send(i int, rng *rand.Rand) sample {
+	tgt := r.targets[i%len(r.targets)]
+	k := r.pickTopK(tgt, i)
+	var s sample
+	items := 1
+	if r.mode == "jobs" {
+		items = r.batchSize
+		s = r.sendJob(i, rng, tgt, k)
+	} else {
+		if r.batchEvery > 0 && i%r.batchEvery == r.batchEvery-1 {
+			items = r.batchSize
+		}
+		s = r.sendSync(i, rng, tgt, k)
+	}
+	draws := int64(items) * tgt.drawsPerItem
+	if tgt.mallows && k > 0 && k < tgt.spec.N {
+		s.drawsTrunc = draws
+	} else {
+		s.drawsFull = draws
+	}
+	return s
 }
 
 // sendSync issues request i: a batch when i hits the batch cadence, a
 // single rank otherwise, optionally with an injected client-side
 // cancellation.
-func (r *soakRun) sendSync(i int, rng *rand.Rand) sample {
-	tgt := r.targets[i%len(r.targets)]
-	endpoint, body := "/v1/rank", r.singleBody(tgt, i)
+func (r *soakRun) sendSync(i int, rng *rand.Rand, tgt target, k int) sample {
+	endpoint, body := "/v1/rank", r.singleBody(tgt, i, k)
 	isBatch := r.batchEvery > 0 && i%r.batchEvery == r.batchEvery-1
 	if isBatch {
-		endpoint, body = "/v1/rank/batch", r.batchBody(tgt, i)
+		endpoint, body = "/v1/rank/batch", r.batchBody(tgt, i, k)
 	}
 	route := http.MethodPost + " " + endpoint
 	ctx := context.Background()
@@ -407,7 +489,7 @@ func (r *soakRun) sendSync(i int, rng *rand.Rand) sample {
 	if resp.StatusCode != http.StatusOK {
 		return sample{endpoint: endpoint, latency: latency, failure: fmt.Sprintf("status %d: %s", resp.StatusCode, truncate(payload))}
 	}
-	if msg := checkPayload(isBatch, payload, tgt, r.batchSize); msg != "" {
+	if msg := checkPayload(isBatch, payload, tgt, k, r.batchSize); msg != "" {
 		return sample{endpoint: endpoint, latency: latency, failure: msg}
 	}
 	return sample{endpoint: endpoint, latency: latency}
@@ -446,11 +528,10 @@ func (r *soakRun) jobCall(method, path, route string, body []byte) (int, []byte,
 // until done, verify every item, delete the job. The recorded latency
 // is submit→results end to end. A cancelFrac roll instead cancels the
 // job right after submission and verifies it is gone.
-func (r *soakRun) sendJob(i int, rng *rand.Rand) sample {
+func (r *soakRun) sendJob(i int, rng *rand.Rand, tgt target, k int) sample {
 	const endpoint = "/v1/jobs/rank"
-	tgt := r.targets[i%len(r.targets)]
 	start := time.Now()
-	status, payload, err := r.jobCall(http.MethodPost, endpoint, "POST /v1/jobs/rank", r.batchBody(tgt, i))
+	status, payload, err := r.jobCall(http.MethodPost, endpoint, "POST /v1/jobs/rank", r.batchBody(tgt, i, k))
 	if err != nil {
 		return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
 	}
@@ -512,7 +593,7 @@ func (r *soakRun) sendJob(i int, rng *rand.Rand) sample {
 		time.Sleep(2 * time.Millisecond)
 	}
 	latency := time.Since(start)
-	if msg := checkJobItems(&st, tgt, r.batchSize); msg != "" {
+	if msg := checkJobItems(&st, tgt, k, r.batchSize); msg != "" {
 		return sample{endpoint: endpoint, latency: latency, failure: msg}
 	}
 	if status, payload, err = r.jobCall(http.MethodDelete, jobPath, "DELETE /v1/jobs/{id}", nil); err != nil {
@@ -526,10 +607,10 @@ func (r *soakRun) sendJob(i int, rng *rand.Rand) sample {
 
 // checkJobItems sanity-checks a done job's results: zero dropped items,
 // zero item errors, full rankings.
-func checkJobItems(st *service.JobStatusResponse, tgt target, batchSize int) string {
+func checkJobItems(st *service.JobStatusResponse, tgt target, k, batchSize int) string {
 	wantLen := tgt.spec.N
-	if tgt.topK > 0 && tgt.topK < wantLen {
-		wantLen = tgt.topK
+	if k > 0 && k < wantLen {
+		wantLen = k
 	}
 	if len(st.Items) != batchSize || st.Completed != batchSize {
 		return fmt.Sprintf("job returned %d items (%d completed), want %d", len(st.Items), st.Completed, batchSize)
@@ -554,19 +635,20 @@ func checkJobItems(st *service.JobStatusResponse, tgt target, batchSize int) str
 
 // reconcileMetrics fetches the server's /v1/metrics and checks every
 // route the client used against its own ledger: the server's requests
-// counter must land in [completed, attempts].
-func (r *soakRun) reconcileMetrics() error {
+// counter must land in [completed, attempts]. The decoded snapshot is
+// returned for further reconciliation passes.
+func (r *soakRun) reconcileMetrics() (*service.MetricsResponse, error) {
 	resp, err := r.client.Get(r.base + "/v1/metrics")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET /v1/metrics: status %d", resp.StatusCode)
+		return nil, fmt.Errorf("GET /v1/metrics: status %d", resp.StatusCode)
 	}
 	var m service.MetricsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return fmt.Errorf("undecodable metrics: %v", err)
+		return nil, fmt.Errorf("undecodable metrics: %v", err)
 	}
 	byRoute := map[string]service.RouteMetrics{}
 	for _, rt := range m.Routes {
@@ -577,32 +659,65 @@ func (r *soakRun) reconcileMetrics() error {
 	for route, c := range r.counts {
 		got, ok := byRoute[route]
 		if !ok {
-			return fmt.Errorf("route %q missing from /v1/metrics", route)
+			return nil, fmt.Errorf("route %q missing from /v1/metrics", route)
 		}
 		if got.Requests < c.completed || got.Requests > c.attempts {
-			return fmt.Errorf("route %q: server counted %d requests, client ledger wants [%d, %d]",
+			return nil, fmt.Errorf("route %q: server counted %d requests, client ledger wants [%d, %d]",
 				route, got.Requests, c.completed, c.attempts)
 		}
+	}
+	return &m, nil
+}
+
+// reconcileDrawPaths holds the engine's draw-path counters to account:
+// per path, completed requests give the floor and attempted requests
+// the ceiling (a cancelled or failed request contributes between zero
+// and all of its draws, but never draws on the other path), and the
+// split must sum to the total. Valid against an exclusive in-process
+// server whose ranker cache saw no eviction — both are true of spawned
+// smoke runs.
+func (r *soakRun) reconcileDrawPaths(m *service.MetricsResponse) error {
+	var okFull, attFull, okTrunc, attTrunc int64
+	r.mu.Lock()
+	for _, s := range r.samples {
+		attFull += s.drawsFull
+		attTrunc += s.drawsTrunc
+		if !s.cancelled && s.failure == "" {
+			okFull += s.drawsFull
+			okTrunc += s.drawsTrunc
+		}
+	}
+	r.mu.Unlock()
+	e := m.Engine
+	if e.DrawsFull+e.DrawsTruncated != e.Draws {
+		return fmt.Errorf("draw-path split %d full + %d truncated does not sum to %d draws",
+			e.DrawsFull, e.DrawsTruncated, e.Draws)
+	}
+	if e.DrawsFull < okFull || e.DrawsFull > attFull {
+		return fmt.Errorf("server counted %d full-path draws, client ledger wants [%d, %d]",
+			e.DrawsFull, okFull, attFull)
+	}
+	if e.DrawsTruncated < okTrunc || e.DrawsTruncated > attTrunc {
+		return fmt.Errorf("server counted %d truncated draws, client ledger wants [%d, %d]",
+			e.DrawsTruncated, okTrunc, attTrunc)
 	}
 	return nil
 }
 
-func (r *soakRun) singleBody(tgt target, i int) []byte {
+func (r *soakRun) singleBody(tgt target, i, k int) []byte {
 	w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Seed: r.seed + int64(i)}
-	if tgt.topK > 0 {
-		k := tgt.topK
+	if k > 0 {
 		w.TopK = &k
 	}
 	b, _ := json.Marshal(w)
 	return b
 }
 
-func (r *soakRun) batchBody(tgt target, i int) []byte {
+func (r *soakRun) batchBody(tgt target, i, k int) []byte {
 	batch := wireBatch{Requests: make([]wireRequest, r.batchSize)}
 	for j := range batch.Requests {
 		w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Seed: r.seed + int64(i)*1000 + int64(j)}
-		if tgt.topK > 0 {
-			k := tgt.topK
+		if k > 0 {
 			w.TopK = &k
 		}
 		batch.Requests[j] = w
@@ -613,10 +728,10 @@ func (r *soakRun) batchBody(tgt target, i int) []byte {
 
 // checkPayload sanity-checks a 200 response: a soak run that happily
 // measures the latency of garbage is worse than none.
-func checkPayload(isBatch bool, payload []byte, tgt target, batchSize int) string {
+func checkPayload(isBatch bool, payload []byte, tgt target, k, batchSize int) string {
 	wantLen := tgt.spec.N
-	if tgt.topK > 0 && tgt.topK < wantLen {
-		wantLen = tgt.topK
+	if k > 0 && k < wantLen {
+		wantLen = k
 	}
 	if isBatch {
 		var b service.BatchResponse

@@ -17,9 +17,13 @@
 // tolerance, the fair central ranking for sampling algorithms (the
 // paper's robustness setting — noise around an ex-ante fair ranking)
 // and the weakly fair central otherwise, fairness audited over the
-// top-min(AuditTopK, n) prefix. All sampling goes through
-// fairrank.(*Ranker).Sample, so a sweep builds each ranking instance
-// once and every flagged draw is replayable in isolation via
+// top-min(AuditTopK, n) prefix of the full ranking. Sweeps request full
+// rankings — quality and concentration are whole-ranking guarantees, and
+// a TopK request would scope the engine's selection and diagnostics to
+// the delivered prefix (fairrank.Diagnostics) — and the suite computes
+// the prefix fairness audit itself via fairrank.PPfairTopK. All sampling
+// goes through fairrank.(*Ranker).Sample, so a sweep builds each ranking
+// instance once and every flagged draw is replayable in isolation via
 // fairrank.SampleSeed.
 package conformance
 
@@ -266,14 +270,13 @@ func evalPair(ctx context.Context, cfg Config, info fairrank.AlgorithmInfo, nois
 		Candidates: pool,
 		Theta:      &theta,
 		Noise:      fairrank.Noise(noise.request),
-		TopK:       &auditK,
 		Seed:       &baseSeed,
 	}
 
 	// Base sweep: the θ = 1 protocol run behind the floor, concentration,
 	// validity, and reproducibility checks.
-	base, err := runSweep(ctx, ranker, baseReq, draws, func(i int, res *fairrank.Result) *Violation {
-		return checkDraw(info, noise, pool, auditK, res)
+	base, err := runSweep(ctx, ranker, baseReq, draws, auditK, func(i int, res *fairrank.Result) *Violation {
+		return checkDraw(info, noise, pool, res)
 	})
 	if err != nil {
 		violate(Violation{Check: CheckDrawError, Detail: fmt.Sprintf(
@@ -288,7 +291,7 @@ func evalPair(ctx context.Context, cfg Config, info fairrank.AlgorithmInfo, nois
 	// Seed reproducibility: the same sweep prefix again, expecting the
 	// identical ranking sequence.
 	reproDraws := min(draws, 5)
-	repro, err := runSweep(ctx, ranker, baseReq, reproDraws, nil)
+	repro, err := runSweep(ctx, ranker, baseReq, reproDraws, auditK, nil)
 	if err != nil {
 		violate(Violation{Check: CheckDrawError, Detail: fmt.Sprintf("reproducibility sweep failed: %v", err)})
 		return sr
@@ -330,10 +333,10 @@ func evalPair(ctx context.Context, cfg Config, info fairrank.AlgorithmInfo, nois
 
 // checkDraw validates one draw's result against the pool and the
 // registry metadata.
-func checkDraw(info fairrank.AlgorithmInfo, noise pairNoise, pool []fairrank.Candidate, auditK int, res *fairrank.Result) *Violation {
-	if len(res.Ranking) != auditK {
+func checkDraw(info fairrank.AlgorithmInfo, noise pairNoise, pool []fairrank.Candidate, res *fairrank.Result) *Violation {
+	if len(res.Ranking) != len(pool) {
 		return &Violation{Check: CheckValidity, Detail: fmt.Sprintf(
-			"seed %d returned %d candidates, want top_k = %d", res.Diagnostics.Seed, len(res.Ranking), auditK)}
+			"seed %d returned %d candidates, want the full pool of %d", res.Diagnostics.Seed, len(res.Ranking), len(pool))}
 	}
 	inPool := make(map[string]bool, len(pool))
 	for _, c := range pool {
@@ -359,10 +362,14 @@ func checkDraw(info fairrank.AlgorithmInfo, noise pairNoise, pool []fairrank.Can
 	return nil
 }
 
-// runSweep samples draws rankings through the multi-draw hook,
-// collecting the per-draw measurements; check (optional) may return a
+// runSweep samples draws full rankings through the multi-draw hook,
+// collecting the per-draw measurements — full-ranking NDCG and central
+// Kendall tau from the engine diagnostics, plus the top-auditK fairness
+// audit recomputed over each full ranking (the engine's own audit is
+// scoped to the delivered prefix, which a full-ranking sweep wants
+// re-derived at the audit horizon). check (optional) may return a
 // violation per draw, recorded once (the first) to keep reports short.
-func runSweep(ctx context.Context, ranker *fairrank.Ranker, req fairrank.Request, draws int, check func(int, *fairrank.Result) *Violation) (*sweep, error) {
+func runSweep(ctx context.Context, ranker *fairrank.Ranker, req fairrank.Request, draws, auditK int, check func(int, *fairrank.Result) *Violation) (*sweep, error) {
 	out := &sweep{}
 	err := ranker.Sample(ctx, req, draws, func(i int, res *fairrank.Result) error {
 		ids := make([]string, len(res.Ranking))
@@ -370,8 +377,13 @@ func runSweep(ctx context.Context, ranker *fairrank.Ranker, req fairrank.Request
 			ids[j] = c.ID
 		}
 		d := res.Diagnostics
+		k := min(auditK, len(res.Ranking))
+		pp, err := fairrank.PPfairTopK(res.Ranking, k, d.Tolerance)
+		if err != nil {
+			return fmt.Errorf("conformance: top-%d audit of draw %d: %w", k, i, err)
+		}
 		out.ids = append(out.ids, ids)
-		out.ppfair = append(out.ppfair, d.PPfair)
+		out.ppfair = append(out.ppfair, pp)
 		out.ndcg = append(out.ndcg, d.NDCG)
 		out.kt = append(out.kt, float64(d.CentralKendallTau))
 		out.seeds = append(out.seeds, d.Seed)
@@ -395,7 +407,8 @@ func runSweep(ctx context.Context, ranker *fairrank.Ranker, req fairrank.Request
 func checkDeterminismFlag(ctx context.Context, cfg Config, info fairrank.AlgorithmInfo, noise pairNoise, ranker *fairrank.Ranker, pool []fairrank.Candidate, auditK int, baseSeed int64, violate func(Violation)) {
 	// The probe must draw from the pair's mechanism, not the ranker's
 	// default, or a defective registered noise would pass vacuously.
-	req := fairrank.Request{Candidates: pool, TopK: &auditK, Noise: fairrank.Noise(noise.request)}
+	// Full rankings: seed variation anywhere in the ranking counts.
+	req := fairrank.Request{Candidates: pool, Noise: fairrank.Noise(noise.request)}
 	if info.Sampling {
 		zero, one := 0.0, 1
 		if !info.Deterministic {
@@ -455,7 +468,7 @@ func checkNoiseShape(ctx context.Context, cfg Config, sr *ScenarioReport, ranker
 	req.Theta = &zero
 	req.Samples = &one
 	req.Seed = &uniformSeed
-	uni, err := runSweep(ctx, ranker, req, draws, nil)
+	uni, err := runSweep(ctx, ranker, req, draws, spec.N, nil)
 	if err != nil {
 		violate(Violation{Check: CheckDrawError, Detail: fmt.Sprintf("θ=0 uniform-limit sweep failed: %v", err)})
 		return

@@ -23,6 +23,11 @@ type Tables struct {
 	theta float64
 	logQ  float64   // ln q, q = e^{−θ}; 0 when θ = 0
 	cdfZ  []float64 // cdfZ[j] = 1 − q^j, the CDF normalizer at step j
+	// invCdfZ[j] = 1/cdfZ[j] lets the truncated top-k sampler test
+	// "displacement too small to reach the window" with one multiply per
+	// insertion step instead of a divide (see Model.SampleTopKInto).
+	// +Inf at j = 0, where the normalizer is 0; never consulted there.
+	invCdfZ []float64
 }
 
 // NewTables builds displacement tables for models over n items with
@@ -42,8 +47,10 @@ func NewTables(n int, theta float64) (*Tables, error) {
 		q := math.Exp(-theta)
 		t.logQ = math.Log(q)
 		t.cdfZ = make([]float64, n+1)
+		t.invCdfZ = make([]float64, n+1)
 		for j := 0; j <= n; j++ {
 			t.cdfZ[j] = 1 - math.Pow(q, float64(j))
+			t.invCdfZ[j] = 1 / t.cdfZ[j]
 		}
 	}
 	return t, nil

@@ -1,0 +1,95 @@
+package mallows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// FuzzSampleDisplacement drives the truncated-geometric CDF inversion
+// through adversarial (j, θ, seed) triples — the extreme-θ regimes where
+// the float plumbing can betray it: θ → 0⁺ (q rounds to 1, the
+// normalizer 1 − q^j underflows to 0 and the inversion degenerates),
+// θ huge (q and every power underflow to 0), and ordinary values in
+// between. It pins two properties: the draw always lands in the legal
+// support {0,…,j−1}, and the table-backed Displacement reproduces the
+// table-free arithmetic bit for bit on the same uniform.
+func FuzzSampleDisplacement(f *testing.F) {
+	f.Add(2, 1.0, int64(1))
+	f.Add(1, 0.5, int64(2))
+	f.Add(100, 0.0, int64(3))
+	f.Add(50, 1e-300, int64(4))   // q rounds to exactly 1
+	f.Add(50, 5e-17, int64(5))    // 1 − q^j on the edge of underflow
+	f.Add(37, 745.0, int64(6))    // q underflows to exactly 0
+	f.Add(64, 7000.0, int64(7))   // far past underflow
+	f.Add(1000, 1e-12, int64(8))  // near-uniform, large j
+	f.Add(3, math.Inf(1), int64(9))
+	f.Fuzz(func(t *testing.T, j int, theta float64, seed int64) {
+		if j < 0 || j > 1<<14 {
+			t.Skip("support size out of fuzz range")
+		}
+		if math.IsNaN(theta) || theta < 0 {
+			t.Skip("invalid dispersion by contract")
+		}
+		v := sampleDisplacement(j, theta, rand.New(rand.NewSource(seed)))
+		if j <= 1 {
+			if v != 0 {
+				t.Fatalf("j=%d θ=%g: displacement %d, want 0", j, theta, v)
+			}
+			return
+		}
+		if v < 0 || v > j-1 {
+			t.Fatalf("j=%d θ=%g: displacement %d outside [0, %d]", j, theta, v, j-1)
+		}
+		tb, err := NewTables(j, theta)
+		if err != nil {
+			t.Fatalf("NewTables(%d, %g): %v", j, theta, err)
+		}
+		if tv := tb.Displacement(j, rand.New(rand.NewSource(seed))); tv != v {
+			t.Fatalf("j=%d θ=%g: table draw %d, table-free draw %d", j, theta, tv, v)
+		}
+	})
+}
+
+// FuzzSampleTopKPrefix fuzzes the truncated sampler against the full
+// insertion path: any (n, k, θ, seed) must yield a bit-identical
+// delivered prefix and leave the RNG stream in the same position.
+func FuzzSampleTopKPrefix(f *testing.F) {
+	f.Add(10, 3, 1.0, int64(1))
+	f.Add(1, 1, 0.0, int64(2))
+	f.Add(64, 64, 0.01, int64(3))
+	f.Add(64, 80, 700.0, int64(4))
+	f.Add(200, 1, 1e-300, int64(5))
+	f.Add(33, 0, 2.5, int64(6))
+	f.Fuzz(func(t *testing.T, n, k int, theta float64, seed int64) {
+		if n < 0 || n > 512 || k < 0 || k > 1024 {
+			t.Skip("size out of fuzz range")
+		}
+		if math.IsNaN(theta) || math.IsInf(theta, 0) || theta < 0 {
+			t.Skip("invalid dispersion by contract")
+		}
+		m, err := New(perm.Random(n, rand.New(rand.NewSource(seed))), theta)
+		if err != nil {
+			t.Skip("invalid model by contract")
+		}
+		tb := m.Tables()
+		rngFull := rand.New(rand.NewSource(seed))
+		rngTopK := rand.New(rand.NewSource(seed))
+		full := m.SampleInto(tb, make(perm.Perm, 0, n), rngFull)
+		got := m.SampleTopKInto(tb, k, make(perm.Perm, 0, min(k, n)), rngTopK)
+		want := min(k, n)
+		if len(got) != want {
+			t.Fatalf("n=%d k=%d θ=%g: prefix length %d, want %d", n, k, theta, len(got), want)
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("n=%d k=%d θ=%g seed=%d: prefix[%d] = %d, full %d", n, k, theta, seed, i, got[i], full[i])
+			}
+		}
+		if a, b := rngFull.Int63(), rngTopK.Int63(); a != b {
+			t.Fatalf("n=%d k=%d θ=%g: RNG streams diverged (%d vs %d)", n, k, theta, a, b)
+		}
+	})
+}

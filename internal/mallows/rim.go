@@ -13,8 +13,14 @@ import (
 // already-placed items with probability proportional to e^{−θv}; the
 // total displacement Σv equals the Kendall tau distance to the center.
 //
-// Runs in O(n²) time from the slice insertions; the displacement draw
-// itself is O(1) by inverting the truncated-geometric CDF.
+// The slice insertions make a draw O(n + Σv) — memmove-fast and linear
+// in expectation for fixed θ > 0, but Θ(n²) worst case as θ → 0. The
+// displacement draw itself is O(1) by inverting the truncated-geometric
+// CDF. Callers who hit the quadratic regime (small dispersions,
+// adversarially large n) should draw through the Fenwick-backed
+// FastSampler/SampleFast, which is O(n log n) unconditionally; callers
+// who only consume a short prefix should use SampleTopKInto, which
+// skips the sub-window insertions entirely.
 func (m *Model) Sample(rng *rand.Rand) perm.Perm {
 	p, _ := m.SampleWithDistance(rng)
 	return p
@@ -22,7 +28,8 @@ func (m *Model) Sample(rng *rand.Rand) perm.Perm {
 
 // SampleWithDistance is Sample but also returns the Kendall tau distance
 // of the sample from the center, which the insertion process yields for
-// free.
+// free. It shares Sample's cost profile; see Sample for when the
+// Fenwick-backed fast path is the better choice.
 func (m *Model) SampleWithDistance(rng *rand.Rand) (perm.Perm, int64) {
 	n := m.N()
 	out := make(perm.Perm, 0, n)

@@ -11,8 +11,21 @@ func (p Perm) InversionCount() int64 {
 	if n < 2 {
 		return 0
 	}
-	work := make([]int, n)
-	buf := make([]int, n)
+	return p.InversionCountScratch(make([]int, n), make([]int, n))
+}
+
+// InversionCountScratch is InversionCount computing through
+// caller-provided scratch: work and buf must each have capacity ≥
+// len(p) (it panics otherwise) and come back with unspecified contents.
+// With reused scratch the count performs no allocation, which is what
+// the serving layer's per-draw selection criteria rely on. p itself is
+// not modified.
+func (p Perm) InversionCountScratch(work, buf []int) int64 {
+	n := len(p)
+	if n < 2 {
+		return 0
+	}
+	work, buf = work[:n], buf[:n]
 	copy(work, p)
 	var inv int64
 	for width := 1; width < n; width *= 2 {

@@ -156,6 +156,34 @@ func TestInversionCountAgainstBrute(t *testing.T) {
 	}
 }
 
+func TestInversionCountScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	work := make([]int, 64)
+	buf := make([]int, 64)
+	for trial := 0; trial < 200; trial++ {
+		p := Random(rng.Intn(64), rng)
+		before := p.Clone()
+		if got, want := p.InversionCountScratch(work, buf), bruteInversions(p); got != want {
+			t.Fatalf("InversionCountScratch(%v) = %d, want %d", p, got, want)
+		}
+		if !p.Equal(before) {
+			t.Fatalf("InversionCountScratch modified its receiver: %v -> %v", before, p)
+		}
+	}
+	p := MustNew(3, 0, 2, 1, 5, 4)
+	if avg := testing.AllocsPerRun(100, func() {
+		p.InversionCountScratch(work, buf)
+	}); avg != 0 {
+		t.Fatalf("InversionCountScratch allocates %.1f objects per call, want 0", avg)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized scratch did not panic")
+		}
+	}()
+	Random(10, rng).InversionCountScratch(make([]int, 3), make([]int, 3))
+}
+
 func TestLehmerCodeProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 100; trial++ {

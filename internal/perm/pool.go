@@ -1,6 +1,9 @@
 package perm
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool recycles scratch permutations of one fixed size across goroutines.
 // A serving layer that ranks many same-sized requests uses it to keep
@@ -9,15 +12,25 @@ import "sync"
 //
 // Buffers come back with unspecified contents — they are scratch, not
 // permutations; callers must fully overwrite them before reading.
+//
+// The pool counts its traffic: Stats reports how many Gets it served and
+// how many of those had to allocate a fresh buffer, so a serving layer
+// can surface pooled-buffer reuse as a health signal — a miss rate stuck
+// near 1 means the steady state is not steady.
 type Pool struct {
-	d int
-	p sync.Pool
+	d      int
+	p      sync.Pool
+	gets   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewPool returns a pool of scratch permutations of size d.
 func NewPool(d int) *Pool {
 	pl := &Pool{d: d}
-	pl.p.New = func() any { return make(Perm, d) }
+	pl.p.New = func() any {
+		pl.misses.Add(1)
+		return make(Perm, d)
+	}
 	return pl
 }
 
@@ -27,7 +40,16 @@ func (pl *Pool) Size() int { return pl.d }
 // Get returns a scratch permutation of length Size with unspecified
 // contents and capacity ≥ Size.
 func (pl *Pool) Get() Perm {
+	pl.gets.Add(1)
 	return pl.p.Get().(Perm)[:pl.d]
+}
+
+// Stats returns the number of Gets served so far and how many of them
+// missed the pool and allocated. gets − misses is the reuse count; the
+// runtime may evict idle pooled buffers between GCs, so misses can grow
+// even under a perfectly disciplined Get/Put pattern.
+func (pl *Pool) Stats() (gets, misses uint64) {
+	return pl.gets.Load(), pl.misses.Load()
 }
 
 // Put returns a buffer to the pool. Buffers of a different capacity are

@@ -41,3 +41,25 @@ func TestPoolZeroSize(t *testing.T) {
 		t.Fatalf("Get returned length %d, want 0", len(got))
 	}
 }
+
+func TestPoolStats(t *testing.T) {
+	pl := NewPool(6)
+	if gets, misses := pl.Stats(); gets != 0 || misses != 0 {
+		t.Fatalf("fresh pool Stats = (%d, %d), want (0, 0)", gets, misses)
+	}
+	b := pl.Get()
+	if gets, misses := pl.Stats(); gets != 1 || misses != 1 {
+		t.Fatalf("after first Get, Stats = (%d, %d), want (1, 1)", gets, misses)
+	}
+	pl.Put(b)
+	pl.Put(pl.Get()) // served from the pool: a get without a miss
+	gets, misses := pl.Stats()
+	if gets != 2 {
+		t.Fatalf("gets = %d, want 2", gets)
+	}
+	// The runtime may clear a sync.Pool at any GC, so misses ≤ gets is
+	// the only portable bound beyond the first-Get case above.
+	if misses > gets {
+		t.Fatalf("misses = %d exceeds gets = %d", misses, gets)
+	}
+}

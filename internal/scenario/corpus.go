@@ -15,6 +15,10 @@ import (
 //   - "smoke": two small specs for CI soak smoke runs.
 //   - "soak": the load-generator corpus, from hundreds of candidates up
 //     to n = 100000.
+//   - "topk": pools sized so a top-k prefix is a tiny slice of the
+//     ranking — the workload where the engine's truncated draw path
+//     carries the request; fairrank-soak's topk-weighted runs use it to
+//     exercise and reconcile the draw-path counters.
 var builtinCorpora = map[string][]Spec{
 	"conformance": {
 		{Name: "g2-balanced-uniform", N: 40, Groups: 2, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 101},
@@ -42,6 +46,11 @@ var builtinCorpora = map[string][]Spec{
 		{Name: "soak-1k-adversarial", N: 1000, Groups: 2, Proportions: []float64{0.85, 0.15}, Scores: ScoresHeavyTail, Ordering: OrderAdversarial, Seed: 403},
 		{Name: "soak-10k-tied", N: 10000, Groups: 4, Scores: ScoresTied, Ordering: OrderRandom, Seed: 404},
 		{Name: "soak-100k-uniform", N: 100000, Groups: 5, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 405},
+	},
+	"topk": {
+		{Name: "topk-1k-gaussian", N: 1000, Groups: 3, Proportions: []float64{0.6, 0.3, 0.1}, Scores: ScoresGaussian, Ordering: OrderRandom, Seed: 501},
+		{Name: "topk-5k-adversarial", N: 5000, Groups: 2, Proportions: []float64{0.8, 0.2}, Scores: ScoresHeavyTail, Ordering: OrderAdversarial, Seed: 502},
+		{Name: "topk-20k-uniform", N: 20000, Groups: 4, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 503},
 	},
 }
 

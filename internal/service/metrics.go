@@ -94,6 +94,10 @@ func (s *Service) Metrics() *MetricsResponse {
 		st := r.Stats()
 		resp.Engine.Requests += st.Requests
 		resp.Engine.Draws += st.Draws
+		resp.Engine.DrawsFull += st.DrawsFull
+		resp.Engine.DrawsTruncated += st.DrawsTruncated
+		resp.Engine.PoolGets += int64(st.PoolGets)
+		resp.Engine.PoolMisses += int64(st.PoolMisses)
 		resp.Engine.TableHits += st.TableHits
 		resp.Engine.TableMisses += st.TableMisses
 	}

@@ -319,14 +319,12 @@ func TestRankerCacheEvictsAtCap(t *testing.T) {
 	}
 }
 
-// top_k truncates the response ranking to a prefix of the full ranking
-// and scopes the audit to it.
+// top_k truncates the response ranking, scopes the audit (and, for the
+// best-of algorithms, the selection) to the delivered prefix, and stays
+// deterministic per seed. For a single-draw algorithm — no selection —
+// the prefix is exactly the head of the full ranking.
 func TestTopK(t *testing.T) {
 	s := New(Config{Workers: 2})
-	full, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
 	top, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), TopK: ptr(5), Seed: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -334,8 +332,23 @@ func TestTopK(t *testing.T) {
 	if len(top.Ranking) != 5 || top.Diagnostics.TopK != 5 {
 		t.Fatalf("top_k=5 returned %d entries (diag %d)", len(top.Ranking), top.Diagnostics.TopK)
 	}
-	if !reflect.DeepEqual(top.Ranking, full.Ranking[:5]) {
-		t.Error("top_k ranking is not a prefix of the full ranking")
+	again, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), TopK: ptr(5), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(top, again) {
+		t.Error("equal top_k requests returned different responses")
+	}
+	full, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), Algorithm: "mallows", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), Algorithm: "mallows", TopK: ptr(5), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single.Ranking, full.Ranking[:5]) {
+		t.Error("single-draw top_k ranking is not a prefix of the full ranking")
 	}
 	// Oversized top_k clamps to the pool.
 	big, err := s.Rank(context.Background(), &RankRequest{Candidates: pool(20), TopK: ptr(100), Seed: 9})

@@ -11,7 +11,6 @@ import (
 	"repro/internal/mallows"
 	"repro/internal/perm"
 	"repro/internal/quality"
-	"repro/internal/rankdist"
 	"repro/internal/rankers"
 )
 
@@ -46,10 +45,17 @@ type Ranker struct {
 
 	// Lightweight per-call counters behind Stats: serving layers read
 	// them for observability without a second pass over the work done.
-	statRequests    atomic.Int64
-	statDraws       atomic.Int64
-	statTableHits   atomic.Int64
-	statTableMisses atomic.Int64
+	statRequests       atomic.Int64
+	statDraws          atomic.Int64
+	statDrawsFull      atomic.Int64
+	statDrawsTruncated atomic.Int64
+	statTableHits      atomic.Int64
+	statTableMisses    atomic.Int64
+
+	// forceFullDraws pins TopK requests to the full-length reference
+	// draw path. Test-only: the equivalence suite uses it to check the
+	// truncated fast path against the reference bit for bit.
+	forceFullDraws bool
 }
 
 // RankerStats is a point-in-time snapshot of a Ranker's cumulative
@@ -62,21 +68,42 @@ type RankerStats struct {
 	// Draws counts noise permutations drawn and scored across all
 	// requests (0 for deterministic algorithms).
 	Draws int64
+	// DrawsFull and DrawsTruncated split Draws by draw path: full-length
+	// permutations versus lazy top-k prefixes from the truncated Mallows
+	// sampler. DrawsFull + DrawsTruncated == Draws.
+	DrawsFull      int64
+	DrawsTruncated int64
 	// TableHits and TableMisses count lookups of the amortized
 	// per-(n, θ) Mallows table cache: a miss paid the table build.
 	TableHits   int64
 	TableMisses int64
+	// PoolGets and PoolMisses count scratch-permutation checkouts across
+	// the live per-(n, θ) pools and how many of those had to allocate.
+	// Counts carried by evicted size-states drop out of the snapshot, so
+	// these can regress across evictions — read them as a reuse-rate
+	// signal, not an exact ledger.
+	PoolGets   int64
+	PoolMisses int64
 }
 
 // Stats snapshots the Ranker's cumulative counters. Safe for concurrent
 // use; the counters are updated atomically on the serving path.
 func (r *Ranker) Stats() RankerStats {
-	return RankerStats{
-		Requests:    r.statRequests.Load(),
-		Draws:       r.statDraws.Load(),
-		TableHits:   r.statTableHits.Load(),
-		TableMisses: r.statTableMisses.Load(),
+	s := RankerStats{
+		Requests:       r.statRequests.Load(),
+		Draws:          r.statDraws.Load(),
+		DrawsFull:      r.statDrawsFull.Load(),
+		DrawsTruncated: r.statDrawsTruncated.Load(),
+		TableHits:      r.statTableHits.Load(),
+		TableMisses:    r.statTableMisses.Load(),
 	}
+	r.states.Range(func(_, v any) bool {
+		gets, misses := v.(*sizeState).scratch.Stats()
+		s.PoolGets += int64(gets)
+		s.PoolMisses += int64(misses)
+		return true
+	})
+	return s
 }
 
 // maxSizeStates caps the per-(n, θ) cache: a size-state costs O(n)
@@ -210,34 +237,60 @@ func (r *Ranker) model(in rankers.Instance, cfg Config) *mallows.Model {
 	return &mallows.Model{Center: in.Initial, Theta: cfg.Theta}
 }
 
-// criterion returns the sample-selection score function, arithmetic-
-// identical to core's NDCGCriterion/KTCriterion but with the discount
-// table cached and the IDCG hoisted out of the per-sample loop.
-func (r *Ranker) criterion(cfg Config, in rankers.Instance) (func(perm.Perm) (float64, error), error) {
+// criterionAt returns a maker of sample-selection score functions
+// scoped to the first k ranks — the prefix a TopK request delivers.
+// Scorers accept both full-length draws and lazy top-k prefixes (any
+// permutation with ≥ k entries) and score only the first k, so the
+// truncated and reference draw paths select identical winners. At
+// k = n the arithmetic is exactly core's NDCGCriterion/KTCriterion with
+// the discount table cached and the IDCG hoisted out of the per-sample
+// loop.
+//
+// The two-level shape exists for the parallel fan-out: the maker builds
+// the shared read-only state (discounts, IDCG, center positions) once
+// per request, then each worker mints its own scorer holding private
+// scratch, keeping the per-draw path allocation-free without locks.
+func (r *Ranker) criterionAt(cfg Config, in rankers.Instance, k int) (func() func(perm.Perm) (float64, error), error) {
 	switch cfg.Criterion {
 	case CriterionNDCG:
 		discounts := r.discountsFor(len(in.Initial))
-		idcg, err := quality.IDCG(in.Initial, in.Scores, len(in.Initial))
+		// The normalizer is the ideal DCG of the whole pool at cutoff k —
+		// the best any delivered prefix could score — so NDCG stays in
+		// [0, 1] and ranks prefixes the way NDCG@k ranks rankings.
+		idcg, err := quality.IDCG(in.Initial, in.Scores, k)
 		if err != nil {
 			return nil, err
 		}
-		return func(p perm.Perm) (float64, error) {
+		scorer := func(p perm.Perm) (float64, error) {
 			var dcg float64
-			for rk, item := range p {
+			for rk, item := range p[:k] {
 				dcg += in.Scores[item] * discounts[rk]
 			}
 			if idcg == 0 {
 				return 1, nil
 			}
 			return dcg / idcg, nil
-		}, nil
+		}
+		// NDCG scoring reads only shared immutable state; every worker
+		// can use one scorer.
+		return func() func(perm.Perm) (float64, error) { return scorer }, nil
 	case CriterionKT:
-		return func(p perm.Perm) (float64, error) {
-			d, err := rankdist.KendallTau(p, in.Initial)
-			if err != nil {
-				return 0, err
+		pos := in.Initial.Positions()
+		return func() func(perm.Perm) (float64, error) {
+			seq := make(perm.Perm, k)
+			work := make([]int, k)
+			buf := make([]int, k)
+			return func(p perm.Perm) (float64, error) {
+				// Inversions of the center-position sequence of the
+				// prefix = Kendall tau pairs the prefix orders against
+				// the center; at k = n this is exactly the full Kendall
+				// tau distance rankdist.KendallTau returns, computed
+				// through reusable scratch instead of per-draw slices.
+				for i, item := range p[:k] {
+					seq[i] = pos[item]
+				}
+				return -float64(seq.InversionCountScratch(work, buf)), nil
 			}
-			return -float64(d), nil
 		}, nil
 	default:
 		return nil, fmt.Errorf("fairrank: unknown criterion %q", cfg.Criterion)

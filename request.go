@@ -88,17 +88,23 @@ type Diagnostics struct {
 	// TopK is the length of Result.Ranking (the pool size when the
 	// request set no truncation).
 	TopK int
-	// NDCG is the full-ranking NDCG of the chosen ranking against the
-	// score-ideal order. For the NDCG selection criterion this is the
-	// winning sample's selection score, reused rather than recomputed.
+	// NDCG measures the delivered ranking against the score-ideal order:
+	// the full-ranking NDCG when the request set no truncation, NDCG@TopK
+	// (pool-wide ideal as normalizer) when it did — the truncated draw
+	// path never materializes the ranks a TopK response discards, so
+	// every quality measurement is scoped to what was delivered. For the
+	// NDCG selection criterion this is the winning sample's selection
+	// score, reused rather than recomputed.
 	NDCG float64
 	// DrawsEvaluated counts Mallows samples drawn and scored: Samples
 	// for mallows-best, 1 for mallows, 0 for the deterministic
 	// algorithms.
 	DrawsEvaluated int
-	// CentralKendallTau is the Kendall tau distance between the chosen
-	// ranking and the central ranking the noise was centred on (for the
-	// KT criterion, the winning sample's selection score, reused).
+	// CentralKendallTau counts Kendall tau pairs the delivered ranking
+	// orders against the central ranking the noise was centred on: the
+	// full Kendall tau distance when the request set no truncation,
+	// otherwise the discordant pairs within the delivered prefix (for
+	// the KT criterion, the winning sample's selection score, reused).
 	CentralKendallTau int64
 	// PPfair is the percentage of P-fair positions (Definition 4) of
 	// the first TopK prefixes under the resolved tolerance, audited
@@ -154,7 +160,7 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 	if err := r.entry.info.checkGroups(in.Groups.NumGroups()); err != nil {
 		return nil, err
 	}
-	out, score, scored, draws, noise, err := r.rankInstance(ctx, in, cfg, workers)
+	out, score, scored, draws, noise, err := r.rankInstance(ctx, in, cfg, topK, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -171,18 +177,21 @@ func (r *Ranker) do(ctx context.Context, req Request, workers int) (*Result, err
 // rankInstance ranks one assembled instance under a resolved
 // configuration — the per-draw core shared by do and the multi-draw
 // Sample hook, which builds the instance once and calls this per draw.
-// It returns the chosen ranking, the winning selection score (when a
-// best-of criterion ran), the draw count, and the noise mechanism
-// actually drawn from (empty for non-sampling algorithms).
-func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Config, workers int) (perm.Perm, float64, bool, int, Noise, error) {
+// It returns the chosen ranking — full-length, or just the delivered
+// prefix when the truncated draw path served a TopK request — the
+// winning selection score (when a best-of criterion ran), the draw
+// count, and the noise mechanism actually drawn from (empty for
+// non-sampling algorithms).
+func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Config, topK, workers int) (perm.Perm, float64, bool, int, Noise, error) {
 	entry := r.entry
 	var (
-		out    perm.Perm
-		score  float64
-		scored bool
-		draws  int
-		noise  Noise
-		err    error
+		out       perm.Perm
+		score     float64
+		scored    bool
+		draws     int
+		noise     Noise
+		truncated bool
+		err       error
 	)
 	if entry.info.Sampling {
 		// The engine-managed Algorithm-1 family: best-of-m draws from
@@ -199,12 +208,15 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 		if noise == NoiseMallows {
 			// The default mechanism keeps its dedicated path: amortized
 			// (n, θ)-keyed insertion tables and pooled scratch buffers,
-			// bit-identical to the pre-registry engine.
+			// bit-identical to the pre-registry engine — and, for TopK
+			// requests, the lazy truncated sampler that never
+			// materializes ranks the response discards.
+			truncated = topK < len(in.Initial) && !r.forceFullDraws
 			if workers > 0 && samples > 1 {
-				out, score, scored, err = r.sampleParallel(ctx, in, cfg, samples, workers)
+				out, score, scored, err = r.sampleParallel(ctx, in, cfg, samples, topK, truncated, workers)
 			} else {
 				rng := r.getRNG(cfg.Seed)
-				out, score, scored, err = r.sampleSequential(ctx, in, cfg, samples, entry.info.BestOf, rng)
+				out, score, scored, err = r.sampleSequential(ctx, in, cfg, samples, entry.info.BestOf, topK, truncated, rng)
 				r.rngs.Put(rng)
 			}
 		} else {
@@ -213,10 +225,10 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 				return nil, 0, false, 0, "", serr
 			}
 			if workers > 0 && samples > 1 {
-				out, score, scored, err = r.noiseParallel(ctx, in, cfg, noise, sampler, samples, workers)
+				out, score, scored, err = r.noiseParallel(ctx, in, cfg, noise, sampler, samples, topK, workers)
 			} else {
 				rng := r.getRNG(cfg.Seed)
-				out, score, scored, err = r.noiseSequential(ctx, in, cfg, noise, sampler, samples, entry.info.BestOf, rng)
+				out, score, scored, err = r.noiseSequential(ctx, in, cfg, noise, sampler, samples, entry.info.BestOf, topK, rng)
 				r.rngs.Put(rng)
 			}
 		}
@@ -225,6 +237,11 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 		}
 		draws = samples
 		r.statDraws.Add(int64(draws))
+		if truncated {
+			r.statDrawsTruncated.Add(int64(draws))
+		} else {
+			r.statDrawsFull.Add(int64(draws))
+		}
 	} else {
 		strat, serr := entry.factory(cfg)
 		if serr != nil {
@@ -308,7 +325,13 @@ func (r *Ranker) resolve(req Request) (Config, int, error) {
 // stream: same draws and selection as the pre-registry engine, bit for
 // bit, plus a cancellation check between draws. It returns the chosen
 // ranking and, when a selection criterion ran, its winning score.
-func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+//
+// When truncated is set, each draw goes through the lazy top-k sampler
+// instead of materializing the full permutation; the draws consume the
+// RNG stream identically either way, and the selection criterion is
+// prefix-scoped in both cases, so the two paths pick bit-identical
+// winning prefixes for equal seeds.
+func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, topK int, truncated bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, false, err
 	}
@@ -317,17 +340,26 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 		return nil, 0, false, err
 	}
 	model := r.model(in, cfg)
+	// The scratch pool hands out full-length buffers; the truncated path
+	// just fills fewer slots of the same recycled buffers.
 	cur, best := st.scratch.Get(), st.scratch.Get()
 	defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
-	best = model.SampleInto(st.tables, best, rng)
+	draw := func(dst perm.Perm) perm.Perm {
+		if truncated {
+			return model.SampleTopKInto(st.tables, topK, dst, rng)
+		}
+		return model.SampleInto(st.tables, dst, rng)
+	}
+	best = draw(best)
 	if !bestOf {
 		// Algorithm 1 with m = 1: keep the first (only) draw.
 		return best.Clone(), 0, false, nil
 	}
-	score, err := r.criterion(cfg, in)
+	maker, err := r.criterionAt(cfg, in, topK)
 	if err != nil {
 		return nil, 0, false, err
 	}
+	score := maker()
 	bestScore, err := score(best)
 	if err != nil {
 		return nil, 0, false, err
@@ -336,7 +368,7 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 		if err := ctx.Err(); err != nil {
 			return nil, 0, false, err
 		}
-		cur = model.SampleInto(st.tables, cur, rng)
+		cur = draw(cur)
 		v, err := score(cur)
 		if err != nil {
 			return nil, 0, false, err
@@ -356,7 +388,7 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 // registry and runs the same best-of-m selection on one RNG stream.
 // Every draw is validated, so a defective (possibly third-party)
 // mechanism surfaces as an error instead of corrupting the selection.
-func (r *Ranker) noiseSequential(ctx context.Context, in rankers.Instance, cfg Config, noise Noise, sampler NoiseSampler, samples int, bestOf bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+func (r *Ranker) noiseSequential(ctx context.Context, in rankers.Instance, cfg Config, noise Noise, sampler NoiseSampler, samples int, bestOf bool, topK int, rng *rand.Rand) (perm.Perm, float64, bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, false, err
 	}
@@ -372,10 +404,11 @@ func (r *Ranker) noiseSequential(ctx context.Context, in rankers.Instance, cfg C
 	if !bestOf {
 		return best, 0, false, nil
 	}
-	score, err := r.criterion(cfg, in)
+	maker, err := r.criterionAt(cfg, in, topK)
 	if err != nil {
 		return nil, 0, false, err
 	}
+	score := maker()
 	bestScore, err := score(best)
 	if err != nil {
 		return nil, 0, false, err
@@ -417,11 +450,11 @@ func checkedDraw(noise Noise, draw func(*rand.Rand) []int, n int, rng *rand.Rand
 // sampleParallel: the result depends only on the resolved seed, never
 // on the worker count. The registered draw function is shared across
 // workers (the NoiseSampler contract requires concurrency safety).
-func (r *Ranker) noiseParallel(ctx context.Context, in rankers.Instance, cfg Config, noise Noise, sampler NoiseSampler, samples, workers int) (perm.Perm, float64, bool, error) {
+func (r *Ranker) noiseParallel(ctx context.Context, in rankers.Instance, cfg Config, noise Noise, sampler NoiseSampler, samples, topK, workers int) (perm.Perm, float64, bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, false, err
 	}
-	score, err := r.criterion(cfg, in)
+	maker, err := r.criterionAt(cfg, in, topK)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -448,6 +481,7 @@ func (r *Ranker) noiseParallel(ctx context.Context, in rankers.Instance, cfg Con
 			defer wg.Done()
 			rng := r.rngs.Get().(*rand.Rand)
 			defer r.rngs.Put(rng)
+			score := maker()
 			local := drawResult{idx: -1}
 			for i := lo; i < hi; i++ {
 				if err := ctx.Err(); err != nil {
@@ -489,7 +523,12 @@ func (r *Ranker) noiseParallel(ctx context.Context, in rankers.Instance, cfg Con
 // Draw i uses its own RNG seeded by mixSeed(seed, i) and score ties
 // break toward the lowest i, so the result depends only on the resolved
 // seed, never on the worker count. Each worker checks ctx between draws.
-func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, workers int) (perm.Perm, float64, bool, error) {
+//
+// When truncated is set, every worker draws through the lazy top-k
+// sampler; each per-draw derived stream is consumed identically to the
+// full path's, and the prefix-scoped criterion makes the winning prefix
+// bit-identical to the reference path's for equal seeds.
+func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, topK int, truncated bool, workers int) (perm.Perm, float64, bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, false, err
 	}
@@ -497,7 +536,7 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 	if err != nil {
 		return nil, 0, false, err
 	}
-	score, err := r.criterion(cfg, in)
+	maker, err := r.criterionAt(cfg, in, topK)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -524,6 +563,7 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 			defer r.rngs.Put(rng)
 			cur, best := st.scratch.Get(), st.scratch.Get()
 			defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
+			score := maker()
 			local := draw{idx: -1}
 			for i := lo; i < hi; i++ {
 				if err := ctx.Err(); err != nil {
@@ -531,7 +571,11 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 					return
 				}
 				rng.Seed(mixSeed(cfg.Seed, i))
-				cur = model.SampleInto(st.tables, cur, rng)
+				if truncated {
+					cur = model.SampleTopKInto(st.tables, topK, cur, rng)
+				} else {
+					cur = model.SampleInto(st.tables, cur, rng)
+				}
 				v, err := score(cur)
 				if err != nil {
 					results[w] = draw{err: err}
@@ -562,9 +606,15 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 // diagnose assembles the Result diagnostics from state the serving path
 // already holds: the instance's scores, central ranking, groups, and
 // materialized prefix bounds, plus the selection score when the
-// best-of-m loop computed one. One O(n·groups) violation scan audits
+// best-of-m loop computed one. One O(topK·groups) violation scan audits
 // both PPfair and the infeasible index; NDCG and the central Kendall tau
 // are reused from the selection criterion when it already computed them.
+//
+// Every measurement is scoped to the delivered prefix out[:topK] — out
+// itself may be full-length or already just the prefix, depending on
+// which draw path served the request, and the diagnostics must not
+// depend on which it was. Untruncated requests (topK = pool size) keep
+// the exact full-ranking arithmetic of the pre-truncation engine.
 func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score float64, scored bool, draws int, noise Noise) (Diagnostics, error) {
 	d := Diagnostics{
 		Algorithm:      cfg.Algorithm,
@@ -578,25 +628,54 @@ func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score fl
 		TopK:           topK,
 		DrawsEvaluated: draws,
 	}
-	if scored && cfg.Criterion == CriterionNDCG {
+	pfx := out[:topK]
+	full := topK == len(in.Initial)
+	switch {
+	case scored && cfg.Criterion == CriterionNDCG:
 		d.NDCG = score
-	} else {
-		v, err := quality.NDCGFull(out, in.Scores)
+	case full:
+		v, err := quality.NDCGFull(pfx, in.Scores)
 		if err != nil {
 			return Diagnostics{}, err
 		}
 		d.NDCG = v
+	default:
+		// NDCG@topK with the pool-wide ideal as normalizer — the same
+		// quantity the prefix-scoped selection criterion optimizes.
+		dcg, err := quality.DCG(pfx, in.Scores, topK)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		idcg, err := quality.IDCG(in.Initial, in.Scores, topK)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		if idcg == 0 {
+			d.NDCG = 1
+		} else {
+			d.NDCG = dcg / idcg
+		}
 	}
-	if scored && cfg.Criterion == CriterionKT {
+	switch {
+	case scored && cfg.Criterion == CriterionKT:
 		d.CentralKendallTau = int64(-score)
-	} else {
-		kt, err := rankdist.KendallTau(out, in.Initial)
+	case full:
+		kt, err := rankdist.KendallTau(pfx, in.Initial)
 		if err != nil {
 			return Diagnostics{}, err
 		}
 		d.CentralKendallTau = kt
+	default:
+		// Kendall tau pairs within the prefix against the center: the
+		// inversions of the prefix's center-position sequence.
+		pos := in.Initial.Positions()
+		seq := make(perm.Perm, topK)
+		for i, item := range pfx {
+			seq[i] = pos[item]
+		}
+		d.CentralKendallTau = seq.InversionCount()
 	}
-	v, err := fairness.EvaluateViolations(out, in.Groups, in.Bounds)
+	v, err := fairness.EvaluateViolations(pfx, in.Groups, in.Bounds)
 	if err != nil {
 		return Diagnostics{}, err
 	}

@@ -156,10 +156,6 @@ func TestDoTopK(t *testing.T) {
 		t.Fatal(err)
 	}
 	cands := pool(18)
-	full, err := r.Do(context.Background(), Request{Candidates: cands, Seed: sptr(4)})
-	if err != nil {
-		t.Fatal(err)
-	}
 	top, err := r.Do(context.Background(), Request{Candidates: cands, TopK: iptr(5), Seed: sptr(4)})
 	if err != nil {
 		t.Fatal(err)
@@ -167,17 +163,49 @@ func TestDoTopK(t *testing.T) {
 	if len(top.Ranking) != 5 || top.Diagnostics.TopK != 5 {
 		t.Fatalf("TopK=5 returned %d entries (diag %d)", len(top.Ranking), top.Diagnostics.TopK)
 	}
-	if !sameRanking(top.Ranking, full.Ranking[:5]) {
-		t.Error("TopK ranking is not a prefix of the full ranking")
+	// The default algorithm runs best-of-m selection, which for TopK
+	// requests is prefix-scoped and served by the truncated draw path.
+	// The full-length reference path must produce the identical result —
+	// ranking and diagnostics — for the same request.
+	ref, err := NewRanker(Config{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The audit is scoped to the delivered prefix: it must agree with
-	// the standalone PPfairTopK over the full ranking.
+	ref.forceFullDraws = true
+	want, err := ref.Do(context.Background(), Request{Candidates: cands, TopK: iptr(5), Seed: sptr(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRanking(top.Ranking, want.Ranking) {
+		t.Error("truncated draw path and full reference path disagree on the TopK ranking")
+	}
+	if top.Diagnostics != want.Diagnostics {
+		t.Errorf("truncated path diagnostics %+v, reference path %+v", top.Diagnostics, want.Diagnostics)
+	}
+	// With a single draw (no selection), the delivered prefix is the
+	// prefix of the full ranking for equal seeds, and the audit agrees
+	// with the standalone PPfairTopK over the full ranking.
+	r1, err := NewRanker(Config{Algorithm: AlgorithmMallows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r1.Do(context.Background(), Request{Candidates: cands, Seed: sptr(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top1, err := r1.Do(context.Background(), Request{Candidates: cands, TopK: iptr(5), Seed: sptr(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRanking(top1.Ranking, full.Ranking[:5]) {
+		t.Error("single-draw TopK ranking is not a prefix of the full ranking")
+	}
 	pp, err := PPfairTopK(full.Ranking, 5, full.Diagnostics.Tolerance)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(top.Diagnostics.PPfair-pp) > 1e-9 {
-		t.Errorf("diagnostics PPfair %v, PPfairTopK %v", top.Diagnostics.PPfair, pp)
+	if math.Abs(top1.Diagnostics.PPfair-pp) > 1e-9 {
+		t.Errorf("diagnostics PPfair %v, PPfairTopK %v", top1.Diagnostics.PPfair, pp)
 	}
 	// Oversized TopK clamps to the pool.
 	big, err := r.Do(context.Background(), Request{Candidates: cands, TopK: iptr(99), Seed: sptr(4)})

@@ -50,7 +50,7 @@ func (r *Ranker) Sample(ctx context.Context, req Request, draws int, observe fun
 			return err
 		}
 		cfg.Seed = SampleSeed(base, i)
-		out, score, scored, n, noise, err := r.rankInstance(ctx, in, cfg, 0)
+		out, score, scored, n, noise, err := r.rankInstance(ctx, in, cfg, topK, 0)
 		if err != nil {
 			return fmt.Errorf("fairrank: sample draw %d (seed %d): %w", i, cfg.Seed, err)
 		}

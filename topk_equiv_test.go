@@ -1,0 +1,120 @@
+package fairrank
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTopKMatchesFullPath is the engine-level equivalence gate of the
+// truncated draw path: for every registered algorithm × noise pair and
+// an (n, k, θ) grid covering k = 1, k = n, k > n, and the θ = 0 uniform
+// limit, a TopK request served normally (the truncated sampler wherever
+// the engine can use it) must return exactly — ranking and diagnostics —
+// what the forced full-length reference path returns for the same seed,
+// sequentially and under DoParallel's per-draw derived streams. Run it
+// under -race to also exercise the pooled buffers and shared criterion
+// state across the parallel fan-out.
+func TestTopKMatchesFullPath(t *testing.T) {
+	type dims struct{ n, k int }
+	grid := []dims{{6, 1}, {12, 5}, {12, 12}, {12, 40}, {18, 7}}
+	thetas := []float64{0, 1.3}
+	for _, info := range Algorithms() {
+		if strings.HasPrefix(info.Name, "test:") {
+			continue
+		}
+		noises := []string{""}
+		if info.Sampling && info.Noise == "" {
+			noises = noises[:0]
+			for _, ni := range Noises() {
+				if !strings.HasPrefix(ni.Name, "test:") {
+					noises = append(noises, ni.Name)
+				}
+			}
+		}
+		for _, noise := range noises {
+			for _, theta := range thetas {
+				for _, d := range grid {
+					name := info.Name
+					if noise != "" {
+						name += "×" + noise
+					}
+					t.Run(name, func(t *testing.T) {
+						fast, err := NewRanker(Config{Algorithm: Algorithm(info.Name)})
+						if err != nil {
+							t.Fatal(err)
+						}
+						ref, err := NewRanker(Config{Algorithm: Algorithm(info.Name)})
+						if err != nil {
+							t.Fatal(err)
+						}
+						ref.forceFullDraws = true
+						req := Request{
+							Candidates: pool(d.n),
+							Theta:      &theta,
+							Noise:      Noise(noise),
+							TopK:       iptr(d.k),
+							Seed:       sptr(int64(d.n*100 + d.k)),
+						}
+						got, err := fast.Do(context.Background(), req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := ref.Do(context.Background(), req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("n=%d k=%d θ=%g: Do diverged between truncated and reference paths\nfast %+v\nref  %+v", d.n, d.k, theta, got, want)
+						}
+						gotP, err := fast.DoParallel(context.Background(), req, 3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantP, err := ref.DoParallel(context.Background(), req, 3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(gotP, wantP) {
+							t.Errorf("n=%d k=%d θ=%g: DoParallel diverged between truncated and reference paths", d.n, d.k, theta)
+						}
+						// Multi-draw sweeps share one sequential stream per
+						// draw seed; the truncated path must stay aligned
+						// across the whole sweep, not just draw 0.
+						var fastSeq, refSeq []*Result
+						if err := fast.Sample(context.Background(), req, 4, func(_ int, res *Result) error {
+							fastSeq = append(fastSeq, res)
+							return nil
+						}); err != nil {
+							t.Fatal(err)
+						}
+						if err := ref.Sample(context.Background(), req, 4, func(_ int, res *Result) error {
+							refSeq = append(refSeq, res)
+							return nil
+						}); err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(fastSeq, refSeq) {
+							t.Errorf("n=%d k=%d θ=%g: Sample sweep diverged between truncated and reference paths", d.n, d.k, theta)
+						}
+						// The fast engine must actually have used the
+						// truncated path where it applies: the engine-managed
+						// Mallows mechanism with a true prefix.
+						stats := fast.Stats()
+						mallowsPath := info.Sampling && (info.Noise == NoiseMallows || (info.Noise == "" && Noise(noise) == NoiseMallows))
+						if mallowsPath && d.k < d.n && stats.DrawsTruncated == 0 {
+							t.Errorf("n=%d k=%d: no truncated draws recorded on the Mallows fast path (stats %+v)", d.n, d.k, stats)
+						}
+						if refStats := ref.Stats(); refStats.DrawsTruncated != 0 {
+							t.Errorf("reference path recorded %d truncated draws, want 0", refStats.DrawsTruncated)
+						}
+						if stats.DrawsFull+stats.DrawsTruncated != stats.Draws {
+							t.Errorf("draw-path split %d + %d does not sum to draws %d", stats.DrawsFull, stats.DrawsTruncated, stats.Draws)
+						}
+					})
+				}
+			}
+		}
+	}
+}
