@@ -30,6 +30,17 @@
 // GET /v1/metrics route counters, so the observability layer is load-
 // tested too, not just read.
 //
+// -fleet N soaks the fleet topology instead: N in-process fairrankd
+// backends behind an in-process fairrank-gateway, with the clients
+// pointed at the gateway. -kill-backend abruptly stops the busiest
+// backend a third of the way through the run; the gateway's
+// retry/failover must absorb the kill with zero client-visible
+// failures, and the run ends by reconciling the gateway's aggregated
+// /v1/metrics against the client's ledger (FleetReconciled in the
+// summary line):
+//
+//	fairrank-soak -fleet 3 -kill-backend -corpus smoke -requests 300 -out BENCH_pr.json
+//
 // Output is appended to -out as one JSON object per line with
 // "Action": "soak" (one line per endpoint) and "Action": "soak-summary"
 // (one line per run), so the lines coexist with a `go test -json`
@@ -64,6 +75,8 @@ func main() {
 	log.SetPrefix("fairrank-soak: ")
 	addr := flag.String("addr", "http://localhost:8080", "base URL of the fairrankd server under test")
 	spawn := flag.Bool("spawn", false, "serve in-process instead of targeting -addr (self-contained smoke runs)")
+	fleet := flag.Int("fleet", 0, "spawn an in-process gateway over this many fairrankd backends and soak through it (overrides -addr; exclusive with -spawn)")
+	killBackend := flag.Bool("kill-backend", false, "with -fleet, abruptly kill the busiest backend a third of the way through the run (failover injection; -mode sync only)")
 	corpus := flag.String("corpus", "soak", "built-in corpus name or JSON corpus file (shared with datagen); see internal/scenario")
 	mode := flag.String("mode", "sync", `"sync" replays /v1/rank(+batch); "jobs" submits async jobs and polls them to completion`)
 	requests := flag.Int("requests", 200, "total requests to send")
@@ -112,6 +125,18 @@ func main() {
 	if *mode != "sync" && *mode != "jobs" {
 		log.Fatalf(`-mode = %q, want "sync" or "jobs"`, *mode)
 	}
+	if *fleet < 0 {
+		log.Fatalf("-fleet = %d, want ≥ 0", *fleet)
+	}
+	if *fleet > 0 && *spawn {
+		log.Fatalf("-fleet and -spawn are exclusive: -fleet spawns its own backends")
+	}
+	if *killBackend && *fleet < 2 {
+		log.Fatalf("-kill-backend needs -fleet ≥ 2: a one-backend fleet has nothing to fail over to")
+	}
+	if *killBackend && *mode != "sync" {
+		log.Fatalf("-kill-backend requires -mode sync: a killed backend loses the jobs it holds, so job polls fail by design")
+	}
 
 	base := *addr
 	if *spawn {
@@ -119,6 +144,17 @@ func main() {
 		defer srv.Close()
 		base = srv.URL
 		log.Printf("spawned in-process server at %s", base)
+	}
+	var fh *fleetHarness
+	if *fleet > 0 {
+		var err error
+		fh, err = startFleetHarness(*fleet)
+		if err != nil {
+			log.Fatalf("fleet spawn: %v", err)
+		}
+		defer fh.Close()
+		base = fh.URL()
+		log.Printf("spawned in-process fleet: gateway at %s over %d backends", base, *fleet)
 	}
 
 	targets, err := buildTargets(specs, strings.Split(*algorithms, ","), *topK)
@@ -140,7 +176,19 @@ func main() {
 	}
 	log.Printf("replaying corpus %q (%d specs) against %s in %s mode: %d workers",
 		*corpus, len(specs), base, *mode, *concurrency)
+	if *killBackend {
+		fh.scheduleKill(run.progress, *requests)
+	}
 	summary := run.execute(*concurrency, *requests, *duration)
+	if fh != nil {
+		// The gateway's aggregated fleet metrics must reconcile with the
+		// client's ledger — including across the injected backend kill.
+		if _, err := fh.reconcileFleet(run); err != nil {
+			log.Fatalf("fleet reconciliation: %v", err)
+		}
+		summary.FleetReconciled = true
+		log.Printf("gateway fleet metrics reconcile with the client's request counts")
+	}
 	if *spawn {
 		// An exclusive in-process server lets the client hold the
 		// observability layer to account: every request the client
@@ -317,6 +365,13 @@ type Summary struct {
 	// draw-path split landed inside the bounds implied by the client's
 	// per-request draw ledger (spawned runs only).
 	DrawPathReconciled bool `json:"DrawPathReconciled"`
+	// FleetReconciled reports that the gateway's aggregated /v1/metrics
+	// — route counters, picker decisions, backend lifecycle states, and
+	// the fleet engine view — reconciled with the client's ledger
+	// (-fleet runs only; a mismatch fails the run before this line is
+	// written). In a -kill-backend run this includes the killed backend
+	// being demoted and the fallback path having fired.
+	FleetReconciled bool `json:"FleetReconciled"`
 }
 
 // EndpointReport is the per-endpoint soak result, serialized as one
@@ -381,6 +436,14 @@ func (r *soakRun) record(s sample) {
 	r.mu.Lock()
 	r.samples = append(r.samples, s)
 	r.mu.Unlock()
+}
+
+// progress reports how many requests have completed so far — the
+// fleet harness's trigger for the mid-run backend kill.
+func (r *soakRun) progress() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
 }
 
 // countAttempt/countDone maintain the per-route reconciliation ledger.

@@ -61,11 +61,9 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
 	"log/slog"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -94,24 +92,20 @@ func main() {
 	if !*quiet {
 		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	svc := service.New(service.Config{
-		Workers:       *workers,
-		MaxCandidates: *maxCandidates,
-		MaxBatch:      *maxBatch,
-		QueueDepth:    *queueDepth,
-		QueueWait:     *queueWait,
-		MaxJobs:       *maxJobs,
-		JobTTL:        *jobTTL,
-		AccessLog:     access,
+	srv := service.NewServer(service.ServerConfig{
+		Config: service.Config{
+			Workers:       *workers,
+			MaxCandidates: *maxCandidates,
+			MaxBatch:      *maxBatch,
+			QueueDepth:    *queueDepth,
+			QueueWait:     *queueWait,
+			MaxJobs:       *maxJobs,
+			JobTTL:        *jobTTL,
+			AccessLog:     access,
+		},
+		Addr:         *addr,
+		DrainTimeout: *drainTimeout,
 	})
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       60 * time.Second,
-		WriteTimeout:      120 * time.Second,
-		IdleTimeout:       120 * time.Second,
-	}
 
 	// Enumerate the servable surface from the generated catalog, so the
 	// startup log always matches GET /v1/algorithms.
@@ -127,33 +121,26 @@ func main() {
 	log.Printf("serving %d algorithms (%s) with %d noise mechanisms (%s)",
 		len(names), strings.Join(names, ", "), len(noiseNames), strings.Join(noiseNames, ", "))
 
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addr)
-		errc <- srv.ListenAndServe()
-	}()
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", srv.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
-	case err := <-errc:
+	case err := <-srv.Err():
 		log.Fatal(err)
 	case sig := <-stop:
-		// Drain in dependency order: stop being routable (readyz 503,
-		// job submissions rejected), let running jobs and in-flight
-		// requests finish inside the grace period, shut the HTTP server
-		// down, then hard-cancel whatever jobs remain.
+		// The Server runs the drain sequence in dependency order: stop
+		// being routable (readyz 503, job submissions rejected), let
+		// running jobs and in-flight requests finish inside the grace
+		// period, shut the HTTP server down, then hard-cancel whatever
+		// jobs remain.
 		log.Printf("received %s, draining (grace %s)", sig, *drainTimeout)
-		svc.BeginDrain()
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := svc.DrainJobs(ctx); err != nil {
-			log.Printf("drain: jobs still running after grace period: %v", err)
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Printf("drain: %v", err)
 		}
-		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Fatalf("shutdown: %v", err)
-		}
-		svc.Close()
 		log.Printf("drained")
 	}
 }

@@ -1,0 +1,212 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// testFleet builds n backends (all serving unless told otherwise) with
+// the ring/pickers wired the way New does, without any HTTP.
+func testFleet(n int) ([]*Backend, *Ring) {
+	backends := make([]*Backend, n)
+	names := make([]string, n)
+	for i := range backends {
+		backends[i] = &Backend{name: fmt.Sprintf("b%d", i), url: fmt.Sprintf("http://backend-%d", i)}
+		backends[i].state.Store(int32(StateServing))
+		names[i] = backends[i].name
+	}
+	return backends, NewRing(names, 128)
+}
+
+func poolOf(backends []*Backend, except map[*Backend]bool) []*Backend {
+	pool := make([]*Backend, 0, len(backends))
+	for _, b := range backends {
+		if !except[b] {
+			pool = append(pool, b)
+		}
+	}
+	return pool
+}
+
+// TestHashPickerFailoverOrdering pins that excluding backends from the
+// pool walks the ring in its deterministic failover order: the choice
+// with k backends excluded is the (k+1)-th entry of the key's ring
+// sequence.
+func TestHashPickerFailoverOrdering(t *testing.T) {
+	backends, ring := testFleet(5)
+	p := NewHashPicker(ring, backends)
+	for _, key := range ringKeys(200) {
+		seq := ring.Sequence(key)
+		excluded := map[*Backend]bool{}
+		for step := 0; step < len(seq); step++ {
+			got := p.Choose(key, poolOf(backends, excluded))
+			want := backends[seq[step]]
+			if got != want {
+				t.Fatalf("key %q step %d: chose %s, ring order wants %s", key, step, got.Name(), want.Name())
+			}
+			excluded[got] = true
+		}
+		if got := p.Choose(key, nil); got != nil {
+			t.Fatalf("key %q: empty pool chose %s, want nil", key, got.Name())
+		}
+	}
+}
+
+// TestFailoverPickerPrimaryAndFallback pins the composite policy: the
+// shard owner while it is in the pool, the least-loaded member once it
+// is not.
+func TestFailoverPickerPrimaryAndFallback(t *testing.T) {
+	backends, ring := testFleet(4)
+	p := NewDefaultPicker(ring, backends)
+	key := "mallows-best|weak|10|0"
+	owner := p.Primary.Owner(key)
+
+	if got := p.Choose(key, poolOf(backends, nil)); got != owner {
+		t.Fatalf("healthy owner: chose %s, want owner %s", got.Name(), owner.Name())
+	}
+
+	// Load the survivors unevenly; with the owner excluded the fallback
+	// must pick the least-loaded, not the ring successor.
+	var lightest *Backend
+	for _, b := range backends {
+		if b == owner {
+			continue
+		}
+		b.inflight.Store(50)
+		if lightest == nil {
+			lightest = b
+		}
+	}
+	lightest.inflight.Store(1)
+	got := p.Choose(key, poolOf(backends, map[*Backend]bool{owner: true}))
+	if got != lightest {
+		t.Fatalf("unhealthy owner: chose %s (load %d), want least-loaded %s", got.Name(), got.LoadScore(), lightest.Name())
+	}
+	for _, b := range backends {
+		b.inflight.Store(0)
+	}
+}
+
+// TestLeastLoadedPicker pins the load scoring: the backend-reported
+// readyz snapshot plus the gateway's own in-flight count, ties broken
+// by name for determinism.
+func TestLeastLoadedPicker(t *testing.T) {
+	backends, _ := testFleet(3)
+	p := LeastLoadedPicker{}
+	pool := poolOf(backends, nil)
+
+	// All idle: the name tie-break keeps the choice deterministic.
+	if got := p.Choose("", pool); got != backends[0] {
+		t.Fatalf("idle fleet: chose %s, want b0 by tie-break", got.Name())
+	}
+
+	// Reported load (from the /readyz snapshot) dominates.
+	backends[0].mu.Lock()
+	backends[0].reported = service.ReadyzQueue{InFlight: 4, Queued: 3}
+	backends[0].mu.Unlock()
+	backends[1].inflight.Store(2)
+	if got := p.Choose("", pool); got != backends[2] {
+		t.Fatalf("loaded fleet: chose %s, want idle b2", got.Name())
+	}
+
+	// Gateway-side in-flight covers the staleness between probes.
+	backends[2].inflight.Store(9)
+	if got := p.Choose("", pool); got != backends[1] {
+		t.Fatalf("stale-probe fleet: chose %s, want b1 (score 2)", got.Name())
+	}
+}
+
+// TestRandomPickerSeeded pins that equal seeds give equal pick
+// sequences and that picks stay inside the pool.
+func TestRandomPickerSeeded(t *testing.T) {
+	backends, _ := testFleet(4)
+	pool := poolOf(backends, nil)
+	a, b := NewRandomPicker(7), NewRandomPicker(7)
+	for i := 0; i < 100; i++ {
+		ga, gb := a.Choose("", pool), b.Choose("", pool)
+		if ga != gb {
+			t.Fatalf("pick %d: %s vs %s under equal seeds", i, ga.Name(), gb.Name())
+		}
+	}
+	if got := a.Choose("", nil); got != nil {
+		t.Fatalf("empty pool chose %s, want nil", got.Name())
+	}
+}
+
+// TestPickerRaceUnderStateFlips stresses every picker while probe-like
+// goroutines flip backend states and load reports concurrently — the
+// routing path must stay race-free (run under -race) and always return
+// a pool member.
+func TestPickerRaceUnderStateFlips(t *testing.T) {
+	backends, ring := testFleet(6)
+	pickers := []Picker{
+		NewHashPicker(ring, backends),
+		LeastLoadedPicker{},
+		NewRandomPicker(1),
+		NewDefaultPicker(ring, backends),
+	}
+	stop := make(chan struct{})
+	var flippers sync.WaitGroup
+	for _, b := range backends {
+		flippers.Add(1)
+		go func(b *Backend) {
+			defer flippers.Done()
+			states := []State{StateServing, StateDegraded, StateProbing, StateDraining, StateServing}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.setState(states[i%len(states)])
+				b.probeSuccess(1, service.ReadyzQueue{InFlight: int64(i % 17), Queued: int64(i % 5)}, i%3)
+				b.inflight.Add(1)
+				b.inflight.Add(-1)
+			}
+		}(b)
+	}
+	var routers sync.WaitGroup
+	keys := ringKeys(64)
+	for w := 0; w < 4; w++ {
+		routers.Add(1)
+		go func(w int) {
+			defer routers.Done()
+			for i := 0; i < 2000; i++ {
+				key := keys[(i+w)%len(keys)]
+				// The routing path's snapshot: serving backends only.
+				pool := make([]*Backend, 0, len(backends))
+				for _, b := range backends {
+					if b.State() == StateServing {
+						pool = append(pool, b)
+					}
+				}
+				if len(pool) == 0 {
+					continue
+				}
+				p := pickers[i%len(pickers)]
+				got := p.Choose(key, pool)
+				if got == nil {
+					t.Errorf("%s.Choose returned nil for a non-empty pool", p.Name())
+					return
+				}
+				found := false
+				for _, b := range pool {
+					if b == got {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s.Choose returned %s, not a pool member", p.Name(), got.Name())
+					return
+				}
+			}
+		}(w)
+	}
+	routers.Wait()
+	close(stop)
+	flippers.Wait()
+}

@@ -1,0 +1,163 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// fakeBackendModes drives a scriptable backend for probe tests:
+// "ready" answers both probes healthily, "draining" answers readyz
+// with the graceful-shutdown body, "dead" fails healthz.
+func fakeProbeTarget(mode *atomic.Value) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if mode.Load() == "dead" {
+			http.Error(w, "dead", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		resp := service.ReadyzResponse{
+			Status:      "ready",
+			Queue:       service.ReadyzQueue{Workers: 4, Depth: 16, InFlight: 3, Queued: 2},
+			JobsRunning: 1,
+		}
+		if mode.Load() == "draining" {
+			resp.Status = "draining"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(&resp)
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestProbeLifecycle drives the full state machine through direct
+// probe rounds: probing → serving at the healthy threshold, serving →
+// draining immediately on a draining readyz, draining → serving on
+// recovery, serving → degraded at the unhealthy threshold, degraded →
+// serving again — with the readyz load snapshot captured along the
+// way.
+func TestProbeLifecycle(t *testing.T) {
+	var mode atomic.Value
+	mode.Store("ready")
+	srv := fakeProbeTarget(&mode)
+	defer srv.Close()
+
+	cfg := Config{
+		Backends:           []string{srv.URL},
+		HealthyThreshold:   2,
+		UnhealthyThreshold: 2,
+		ProbeInterval:      time.Hour, // probeOnce is driven by hand
+	}.withDefaults()
+	b := &Backend{name: "b0", url: srv.URL}
+	p := newProber(cfg, b)
+
+	step := func(wantState State, what string) {
+		t.Helper()
+		if got := b.State(); got != wantState {
+			t.Fatalf("%s: state = %s, want %s", what, got, wantState)
+		}
+	}
+
+	step(StateProbing, "initial")
+	p.probeOnce()
+	step(StateProbing, "one success below the healthy threshold")
+	p.probeOnce()
+	step(StateServing, "second success")
+
+	// The successful readyz recorded its load snapshot.
+	if got := b.LoadScore(); got != 3+2+1 {
+		t.Fatalf("LoadScore = %d, want 6 (reported 3 in-flight + 2 queued + 1 job)", got)
+	}
+
+	mode.Store("draining")
+	p.probeOnce()
+	step(StateDraining, "draining readyz demotes immediately, no threshold")
+
+	mode.Store("ready")
+	p.probeOnce()
+	step(StateDraining, "one recovery below the healthy threshold")
+	p.probeOnce()
+	step(StateServing, "recovered")
+
+	mode.Store("dead")
+	p.probeOnce()
+	step(StateServing, "one failure below the unhealthy threshold")
+	p.probeOnce()
+	step(StateDegraded, "second failure")
+
+	mode.Store("ready")
+	p.probeOnce()
+	p.probeOnce()
+	step(StateServing, "degraded backend recovered")
+
+	if ok, fail := b.probeOK.Load(), b.probeFail.Load(); ok != 7 || fail != 2 {
+		t.Fatalf("probe counters ok=%d fail=%d, want 7/2", ok, fail)
+	}
+	if tr := b.transitions.Load(); tr != 5 {
+		t.Fatalf("transitions = %d, want 5 (probing→serving→draining→serving→degraded→serving)", tr)
+	}
+}
+
+// TestProbeUnreachableBackend pins that a connection-refused backend
+// degrades and never serves.
+func TestProbeUnreachableBackend(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // nothing listens anymore
+
+	cfg := Config{Backends: []string{url}, UnhealthyThreshold: 2, ProbeInterval: time.Hour}.withDefaults()
+	b := &Backend{name: "b0", url: url}
+	p := newProber(cfg, b)
+	p.probeOnce()
+	p.probeOnce()
+	if got := b.State(); got != StateDegraded {
+		t.Fatalf("state = %s, want degraded", got)
+	}
+}
+
+// TestProberLoop pins the supervisor loop end to end: a started prober
+// promotes a healthy backend on its own cadence, demotes it when the
+// backend dies, and halts cleanly.
+func TestProberLoop(t *testing.T) {
+	var mode atomic.Value
+	mode.Store("ready")
+	srv := fakeProbeTarget(&mode)
+	defer srv.Close()
+
+	cfg := Config{
+		Backends:           []string{srv.URL},
+		ProbeInterval:      2 * time.Millisecond,
+		HealthyThreshold:   2,
+		UnhealthyThreshold: 2,
+	}.withDefaults()
+	b := &Backend{name: "b0", url: srv.URL}
+	p := newProber(cfg, b)
+	go p.run()
+	defer p.halt()
+
+	waitState := func(want State, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for b.State() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: state stuck at %s, want %s", what, b.State(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitState(StateServing, "healthy backend")
+	mode.Store("dead")
+	waitState(StateDegraded, "dead backend")
+	mode.Store("ready")
+	waitState(StateServing, "recovered backend")
+}

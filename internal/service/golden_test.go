@@ -129,8 +129,17 @@ func TestGoldenRankBatch(t *testing.T) {
 	goldenBody(t, "rank_batch", http.MethodPost, "/v1/rank/batch", body)
 }
 
+// TestGoldenReadyz pins both readiness bodies: the ready snapshot with
+// its queue/inflight gauges (the shape fleet probes parse for
+// least-loaded fallback) and the draining 503.
 func TestGoldenReadyz(t *testing.T) {
 	goldenBody(t, "readyz", http.MethodGet, "/readyz", "")
+
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	s.BeginDrain()
+	goldenCompare(t, "readyz_draining",
+		goldenServe(t, NewHandler(s), http.MethodGet, "/readyz", "", http.StatusServiceUnavailable))
 }
 
 // TestGoldenMetrics pins the /v1/metrics wire shape on a fresh server:

@@ -107,11 +107,12 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	route("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
+		resp, ready := s.Readyz()
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, status, resp)
 	})
 	return chain(mux,
 		requestID(),

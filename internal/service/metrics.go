@@ -105,6 +105,29 @@ func (s *Service) Metrics() *MetricsResponse {
 	return resp
 }
 
+// Readyz assembles the readiness snapshot served by GET /readyz and
+// reports whether the service is ready (not draining). The snapshot is
+// a few atomic loads — cheap enough for aggressive probe cadences.
+func (s *Service) Readyz() (*ReadyzResponse, bool) {
+	admitted, inflight, waiting, _ := s.queue.gauges()
+	resp := &ReadyzResponse{
+		Status: "ready",
+		Queue: ReadyzQueue{
+			Workers:  s.cfg.Workers,
+			Depth:    s.cfg.QueueDepth,
+			Admitted: admitted,
+			InFlight: inflight,
+			Queued:   waiting,
+		},
+		JobsRunning: s.jobGauges().Running,
+	}
+	if s.Draining() {
+		resp.Status = "draining"
+		return resp, false
+	}
+	return resp, true
+}
+
 func (s *Service) queueGauges() QueueMetrics {
 	admitted, inflight, waiting, rejected := s.queue.gauges()
 	return QueueMetrics{

@@ -165,6 +165,36 @@ type JobStatusResponse struct {
 	Items []BatchItem `json:"items,omitempty"`
 }
 
+// ReadyzResponse answers GET /readyz: the readiness verdict plus a
+// cheap load snapshot — queue depth and in-flight work — so fleet
+// probes (the gateway's backend pool) can rank backends by load off
+// the readiness path they already poll, without scraping the heavier
+// GET /v1/metrics.
+type ReadyzResponse struct {
+	// Status is "ready" (HTTP 200) or "draining" (HTTP 503).
+	Status string `json:"status"`
+	// Queue snapshots the admission layer.
+	Queue ReadyzQueue `json:"queue"`
+	// JobsRunning counts async jobs currently executing; their items
+	// occupy the same worker pool as synchronous traffic.
+	JobsRunning int `json:"jobs_running"`
+}
+
+// ReadyzQueue is the admission-queue slice of the readiness snapshot:
+// the static shape (Workers, Depth) plus the live gauges a prober needs
+// to estimate load. Admitted counts synchronous requests in the system
+// (executing or queued), InFlight execution slots held by any path
+// (sync, batch entries, job items), Queued goroutines blocked waiting
+// for their first slot — InFlight+Queued is the canonical "how busy"
+// score.
+type ReadyzQueue struct {
+	Workers  int   `json:"workers"`
+	Depth    int   `json:"depth"`
+	Admitted int64 `json:"admitted"`
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+}
+
 // MetricsResponse answers GET /v1/metrics: per-route transport
 // counters, admission-queue gauges, async-job gauges, and engine
 // counters, all as plain JSON so any scraper can consume them.
