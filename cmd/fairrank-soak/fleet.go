@@ -32,16 +32,21 @@ type fleetHarness struct {
 }
 
 // startFleetHarness spawns the fleet and blocks until the gateway's
-// probes have promoted every backend to serving.
-func startFleetHarness(n int) (*fleetHarness, error) {
+// probes have promoted every backend to serving. svcCfg is applied to
+// every backend (jobs-mode runs size the job store through it).
+func startFleetHarness(n int, svcCfg service.Config) (*fleetHarness, error) {
 	h := &fleetHarness{}
 	h.victim.Store(-1)
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
-		srv := service.NewServer(service.ServerConfig{
-			Config: service.Config{},
+		srv, err := service.NewServer(service.ServerConfig{
+			Config: svcCfg,
 			Addr:   "127.0.0.1:0",
 		})
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("backend %d: %w", i, err)
+		}
 		if err := srv.Start(); err != nil {
 			h.Close()
 			return nil, fmt.Errorf("backend %d: %w", i, err)

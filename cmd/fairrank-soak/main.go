@@ -16,9 +16,24 @@
 // -mode jobs exercises the async job pipeline instead of the sync
 // endpoints: each logical request submits a batch job
 // (POST /v1/jobs/rank), polls GET /v1/jobs/{id} until it is done,
-// verifies every item, and deletes the job — the recorded latency is
-// the submit→results end-to-end time. With -cancel, a fraction of jobs
-// is cancelled via DELETE right after submission and verified gone.
+// verifies every item, and verifies that deleting the finished job is
+// refused with 409 (results belong to the TTL sweeper, not DELETE) —
+// the recorded latency is the submit→results end-to-end time. With
+// -cancel, a fraction of jobs is cancelled via DELETE right after
+// submission and verified gone.
+//
+// -restart-drill is the durability smoke: the serving stack runs as a
+// real child fairrankd process on a durable -job-dir, gets SIGKILL'd a
+// third of the way through the run, and is restarted over the same
+// store. The clients ride over the dead window on transport retries,
+// the restarted server must resume the interrupted jobs (its
+// /v1/metrics jobs.recovered counter is checked), and every job must
+// still finish with verified items — JobsRecovered in the summary
+// line records that the whole drill held. Requires -mode jobs and
+// -fairrankd-bin:
+//
+//	fairrank-soak -mode jobs -restart-drill -fairrankd-bin ./fairrankd \
+//	  -corpus smoke -requests 120 -out BENCH_pr.json
 //
 // -corpus accepts a built-in corpus name (see internal/scenario) or a
 // JSON corpus file, the same loader cmd/datagen uses. Requests are
@@ -87,6 +102,9 @@ func main() {
 	topkFrac := flag.Float64("topk-frac", 1, "fraction of requests carrying -topk; the rest request full rankings, so a mixed run exercises both draw paths")
 	batchEvery := flag.Int("batch-every", 10, "every k-th request goes to /v1/rank/batch (0 disables batches)")
 	batchSize := flag.Int("batch-size", 4, "entries per batch request")
+	restartDrill := flag.Bool("restart-drill", false, "spawn fairrankd as a child process on a durable job dir, SIGKILL it a third of the way through the run, restart it over the same store, and require the resumed jobs to finish (needs -mode jobs and -fairrankd-bin)")
+	fairrankdBin := flag.String("fairrankd-bin", "", "path to the fairrankd binary -restart-drill spawns")
+	jobDir := flag.String("job-dir", "", "durable job directory for -restart-drill (default: a fresh temp dir, removed afterwards)")
 	cancelFrac := flag.Float64("cancel", 0, "fraction of requests cancelled client-side mid-flight (injection)")
 	cancelAfter := flag.Duration("cancel-after", 2*time.Millisecond, "cancellation delay for injected cancels")
 	maxN := flag.Int("max-n", 0, "skip corpus specs with more than this many candidates (0 = no cap)")
@@ -137,10 +155,34 @@ func main() {
 	if *killBackend && *mode != "sync" {
 		log.Fatalf("-kill-backend requires -mode sync: a killed backend loses the jobs it holds, so job polls fail by design")
 	}
+	if *restartDrill {
+		if *mode != "jobs" {
+			log.Fatalf("-restart-drill requires -mode jobs: only the async pipeline has durable state to recover")
+		}
+		if *fairrankdBin == "" {
+			log.Fatalf("-restart-drill needs -fairrankd-bin: the drill kills and restarts a real process")
+		}
+		if *spawn || *fleet > 0 {
+			log.Fatalf("-restart-drill is exclusive with -spawn and -fleet: it spawns its own fairrankd child")
+		}
+	}
+
+	// Finished jobs stay stored until the TTL sweep (DELETE on a done
+	// job is a 409), so a jobs-mode run must size the store for its own
+	// job count — every logical request leaves one finished record.
+	svcCfg := service.Config{}
+	if *mode == "jobs" {
+		if *duration > 0 {
+			svcCfg.MaxJobs = 1 << 16
+			svcCfg.JobTTL = 5 * time.Second // open-ended runs recycle instead
+		} else {
+			svcCfg.MaxJobs = *requests + *concurrency + 16
+		}
+	}
 
 	base := *addr
 	if *spawn {
-		srv := httptest.NewServer(service.NewHandler(service.New(service.Config{})))
+		srv := httptest.NewServer(service.NewHandler(service.New(svcCfg)))
 		defer srv.Close()
 		base = srv.URL
 		log.Printf("spawned in-process server at %s", base)
@@ -148,13 +190,33 @@ func main() {
 	var fh *fleetHarness
 	if *fleet > 0 {
 		var err error
-		fh, err = startFleetHarness(*fleet)
+		fh, err = startFleetHarness(*fleet, svcCfg)
 		if err != nil {
 			log.Fatalf("fleet spawn: %v", err)
 		}
 		defer fh.Close()
 		base = fh.URL()
 		log.Printf("spawned in-process fleet: gateway at %s over %d backends", base, *fleet)
+	}
+	var ph *procHarness
+	if *restartDrill {
+		dir := *jobDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "fairrank-soak-jobs-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		var err error
+		ph, err = startProcHarness(*fairrankdBin, dir, svcCfg.MaxJobs)
+		if err != nil {
+			log.Fatalf("drill spawn: %v", err)
+		}
+		defer ph.Close()
+		base = ph.URL()
+		log.Printf("spawned fairrankd child (pid %d) at %s with durable jobs in %s", ph.pid(), base, dir)
 	}
 
 	targets, err := buildTargets(specs, strings.Split(*algorithms, ","), *topK)
@@ -173,13 +235,31 @@ func main() {
 		topkFrac:    *topkFrac,
 		seed:        *seed,
 		counts:      map[string]*routeCount{},
+		// The drill's dead window (kill → restarted and healthy) surfaces
+		// as transport errors; the clients bridge it by retrying.
+		retryTransport: *restartDrill,
 	}
 	log.Printf("replaying corpus %q (%d specs) against %s in %s mode: %d workers",
 		*corpus, len(specs), base, *mode, *concurrency)
 	if *killBackend {
 		fh.scheduleKill(run.progress, *requests)
 	}
+	if *restartDrill {
+		ph.scheduleKillRestart(run.progress, *requests)
+	}
 	summary := run.execute(*concurrency, *requests, *duration)
+	if ph != nil {
+		// The drill must have proved something: the kill fired, the
+		// restarted server resumed interrupted jobs from the WAL, and
+		// (checked above through run.execute) every job still finished
+		// with verified items.
+		recovered, err := ph.verifyRecovery(run.client)
+		if err != nil {
+			log.Fatalf("restart drill: %v", err)
+		}
+		summary.JobsRecovered = true
+		log.Printf("restart drill held: SIGKILL mid-run, %d jobs resumed from the WAL, zero client-visible failures", recovered)
+	}
 	if fh != nil {
 		// The gateway's aggregated fleet metrics must reconcile with the
 		// client's ledger — including across the injected backend kill.
@@ -338,6 +418,10 @@ type soakRun struct {
 	cancelAfter time.Duration
 	topkFrac    float64
 	seed        int64
+	// retryTransport makes jobCall retry transport-level failures —
+	// the restart drill's dead window between SIGKILL and the restarted
+	// server passing its health check.
+	retryTransport bool
 
 	mu      sync.Mutex
 	samples []sample
@@ -372,6 +456,12 @@ type Summary struct {
 	// written). In a -kill-backend run this includes the killed backend
 	// being demoted and the fallback path having fired.
 	FleetReconciled bool `json:"FleetReconciled"`
+	// JobsRecovered reports that the -restart-drill held end to end:
+	// fairrankd was SIGKILL'd mid-run, the restarted process resumed
+	// interrupted jobs from the durable store (jobs.recovered > 0 on its
+	// /v1/metrics), and every job still finished with verified items. A
+	// failed drill aborts the run before this line is written.
+	JobsRecovered bool `json:"JobsRecovered"`
 }
 
 // EndpointReport is the per-endpoint soak result, serialized as one
@@ -560,8 +650,28 @@ func (r *soakRun) sendSync(i int, rng *rand.Rand, tgt target, k int) sample {
 
 // jobCall is one counted round-trip of the job lifecycle (no
 // cancellation injection on the control-plane calls — jobs mode
-// exercises cancellation through DELETE instead).
+// exercises cancellation through DELETE instead). Under retryTransport
+// a transport-level failure is retried for up to ~10s: the restart
+// drill's dead window must read as latency, not as failures. Retrying
+// the submit POST can double-submit a job the dying server already
+// persisted; the orphan is resumed and finishes on its own, and the
+// client simply tracks the job its retried submit returned.
 func (r *soakRun) jobCall(method, path, route string, body []byte) (int, []byte, error) {
+	status, payload, err := r.jobCallOnce(method, path, route, body)
+	if err == nil || !r.retryTransport {
+		return status, payload, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		if status, payload, err = r.jobCallOnce(method, path, route, body); err == nil {
+			return status, payload, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("no recovery within the retry budget: %w", err)
+}
+
+func (r *soakRun) jobCallOnce(method, path, route string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -614,16 +724,21 @@ func (r *soakRun) sendJob(i int, rng *rand.Rand, tgt target, k int) sample {
 		if status, payload, err = r.jobCall(http.MethodDelete, jobPath, "DELETE /v1/jobs/{id}", nil); err != nil {
 			return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
 		}
-		if status != http.StatusNoContent {
+		switch status {
+		case http.StatusNoContent:
+			if status, payload, err = r.jobCall(http.MethodGet, jobPath, "GET /v1/jobs/{id}", nil); err != nil {
+				return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
+			}
+			if status != http.StatusNotFound {
+				return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("cancelled job still pollable: status %d: %s", status, truncate(payload))}
+			}
+			return sample{endpoint: endpoint, latency: time.Since(start), cancelled: true}
+		case http.StatusConflict:
+			// The job outran the cancel and already finished; its result
+			// is immutable now. Verify it like an uncancelled job.
+		default:
 			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("cancel status %d: %s", status, truncate(payload))}
 		}
-		if status, payload, err = r.jobCall(http.MethodGet, jobPath, "GET /v1/jobs/{id}", nil); err != nil {
-			return sample{endpoint: endpoint, latency: time.Since(start), failure: err.Error()}
-		}
-		if status != http.StatusNotFound {
-			return sample{endpoint: endpoint, latency: time.Since(start), failure: fmt.Sprintf("cancelled job still pollable: status %d: %s", status, truncate(payload))}
-		}
-		return sample{endpoint: endpoint, latency: time.Since(start), cancelled: true}
 	}
 
 	// Poll until terminal; the job layer owes progress monotonicity but
@@ -659,11 +774,14 @@ func (r *soakRun) sendJob(i int, rng *rand.Rand, tgt target, k int) sample {
 	if msg := checkJobItems(&st, tgt, k, r.batchSize); msg != "" {
 		return sample{endpoint: endpoint, latency: latency, failure: msg}
 	}
+	// A finished job is not deletable — eviction belongs to the TTL
+	// sweeper. The soak pins the 409 on every job, so a regression to
+	// the old silently-deleting behavior fails the run.
 	if status, payload, err = r.jobCall(http.MethodDelete, jobPath, "DELETE /v1/jobs/{id}", nil); err != nil {
 		return sample{endpoint: endpoint, latency: latency, failure: err.Error()}
 	}
-	if status != http.StatusNoContent {
-		return sample{endpoint: endpoint, latency: latency, failure: fmt.Sprintf("delete status %d: %s", status, truncate(payload))}
+	if status != http.StatusConflict {
+		return sample{endpoint: endpoint, latency: latency, failure: fmt.Sprintf("delete of a finished job answered %d, want 409: %s", status, truncate(payload))}
 	}
 	return sample{endpoint: endpoint, latency: latency}
 }

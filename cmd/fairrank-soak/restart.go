@@ -1,0 +1,197 @@
+package main
+
+// The -restart-drill topology: one real fairrankd child process with a
+// durable -job-dir, killed with SIGKILL a third of the way through the
+// run and restarted over the same store. SIGKILL — not SIGTERM — is
+// the point: no drain, no suspend, no goodbye; whatever the WAL holds
+// at that instant is all the restarted process gets, and the drill
+// holds only if every interrupted job still finishes with verified
+// items. The graceful-drain half of the durability story is covered by
+// the in-package service tests; this is the half only a dead process
+// can prove.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+type procHarness struct {
+	bin, dir string
+	port     int
+	maxJobs  int
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	restarts atomic.Int32
+}
+
+// startProcHarness picks a port, starts the fairrankd child on it, and
+// blocks until it answers health checks.
+func startProcHarness(bin, dir string, maxJobs int) (*procHarness, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	h := &procHarness{bin: bin, dir: dir, port: port, maxJobs: maxJobs}
+	if err := h.start(); err != nil {
+		return nil, err
+	}
+	if err := h.waitHealthy(15 * time.Second); err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *procHarness) URL() string { return fmt.Sprintf("http://127.0.0.1:%d", h.port) }
+
+func (h *procHarness) pid() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cmd == nil || h.cmd.Process == nil {
+		return 0
+	}
+	return h.cmd.Process.Pid
+}
+
+func (h *procHarness) start() error {
+	cmd := exec.Command(h.bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", h.port),
+		"-job-dir", h.dir,
+		"-max-jobs", strconv.Itoa(h.maxJobs),
+		"-quiet",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", h.bin, err)
+	}
+	h.mu.Lock()
+	h.cmd = cmd
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *procHarness) waitHealthy(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: time.Second}
+	for {
+		resp, err := client.Get(h.URL() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fairrankd child not healthy within %s", budget)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// scheduleKillRestart arms the drill: once the run has completed about
+// a third of its requests, the child is killed abruptly and restarted
+// over the same -job-dir while the clients keep sending. The kill is
+// gated on the store provably holding unfinished work at that instant:
+// smoke-corpus jobs finish in single-digit milliseconds, so a blind
+// kill can land in a gap where every submitted job is already done and
+// the restart would prove nothing about recovery.
+func (h *procHarness) scheduleKillRestart(progress func() int, total int) {
+	threshold := total / 3
+	if threshold < 1 {
+		threshold = 1
+	}
+	go func() {
+		for progress() < threshold {
+			time.Sleep(5 * time.Millisecond)
+		}
+		client := &http.Client{Timeout: time.Second}
+		deadline := time.Now().Add(10 * time.Second)
+		for !h.hasUnfinished(client) && time.Now().Before(deadline) {
+		}
+		h.mu.Lock()
+		cmd := h.cmd
+		h.mu.Unlock()
+		log.Printf("SIGKILL fairrankd (pid %d) mid-run — durability injection", cmd.Process.Pid)
+		cmd.Process.Kill()
+		cmd.Wait()
+		if err := h.start(); err != nil {
+			log.Fatalf("drill restart: %v", err)
+		}
+		if err := h.waitHealthy(15 * time.Second); err != nil {
+			log.Fatalf("drill restart: %v", err)
+		}
+		h.restarts.Add(1)
+		log.Printf("restarted fairrankd (pid %d) over the same job dir", h.pid())
+	}()
+}
+
+// hasUnfinished reports whether the child's job store currently holds
+// at least one pending or running job. The drill polls this in a tight
+// loop and pulls the trigger the instant it turns true, keeping the
+// window between "unfinished job observed" and "SIGKILL delivered" down
+// to a syscall.
+func (h *procHarness) hasUnfinished(client *http.Client) bool {
+	resp, err := client.Get(h.URL() + "/v1/jobs?state=pending&state=running")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var page service.JobListResponse
+	if err := decodeJSON(resp, &page); err != nil {
+		return false
+	}
+	return len(page.Jobs) > 0
+}
+
+// verifyRecovery checks, after the run, that the drill actually proved
+// durability: the kill+restart fired, and the restarted server resumed
+// at least one interrupted job from the WAL (its /v1/metrics
+// jobs.recovered counter). Returns the recovered count.
+func (h *procHarness) verifyRecovery(client *http.Client) (int64, error) {
+	if h.restarts.Load() == 0 {
+		return 0, fmt.Errorf("the kill+restart never fired before the run ended")
+	}
+	resp, err := client.Get(h.URL() + "/v1/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/metrics: status %d", resp.StatusCode)
+	}
+	var m service.MetricsResponse
+	if err := decodeJSON(resp, &m); err != nil {
+		return 0, err
+	}
+	if m.Jobs.Recovered == 0 {
+		return 0, fmt.Errorf("restarted server resumed no jobs — the drill proved nothing about recovery")
+	}
+	return m.Jobs.Recovered, nil
+}
+
+func (h *procHarness) Close() {
+	h.mu.Lock()
+	cmd := h.cmd
+	h.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}

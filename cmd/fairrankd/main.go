@@ -4,9 +4,11 @@
 //
 //	POST   /v1/rank        rank one candidate pool (sync)
 //	POST   /v1/rank/batch  rank many independent pools concurrently (sync)
-//	POST   /v1/jobs/rank   submit a batch as an async job (202 + job ID)
+//	POST   /v1/jobs/rank   submit a batch as an async job (202 + job ID;
+//	                       "webhook_url" subscribes to the completion event)
+//	GET    /v1/jobs        list jobs (cursor paging, ?state= filters)
 //	GET    /v1/jobs/{id}   poll job status/progress; items once done
-//	DELETE /v1/jobs/{id}   cancel/delete a job
+//	DELETE /v1/jobs/{id}   cancel+delete an unfinished job (finished = 409)
 //	GET    /v1/algorithms  introspect algorithms, centrals, criteria, defaults
 //	GET    /v1/metrics     per-route, queue, job, and engine counters
 //	GET    /healthz        liveness probe
@@ -53,10 +55,19 @@
 // loops: client disconnects and deadlines abort in-flight work between
 // draws.
 //
+// Durability: with -job-dir set, async jobs persist in a WAL-backed
+// store — a restarted (or SIGKILLed) fairrankd replays the directory,
+// re-enqueues every unfinished job, and re-runs only the items whose
+// results are missing; per-item seeds make the resumed results
+// bit-identical to an uninterrupted run. Completion-event webhooks are
+// delivered at-least-once across restarts.
+//
 // On SIGINT/SIGTERM the server drains: readiness goes 503 (load
 // balancers stop routing), new job submissions are rejected, running
 // jobs and in-flight requests get a grace period to finish, then the
-// HTTP server shuts down and any still-running jobs are cancelled.
+// HTTP server shuts down. Jobs still running past the grace period are
+// handed back to the store as pending (with their progress) rather
+// than cancelled, so a durable store resumes them on the next start.
 package main
 
 import (
@@ -84,6 +95,8 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "longest a sync request may wait for a worker slot before 429 (0 = default 10s)")
 	maxJobs := flag.Int("max-jobs", 0, "largest number of stored async jobs (0 = default 64)")
 	jobTTL := flag.Duration("job-ttl", 0, "how long finished jobs stay fetchable before eviction (0 = default 10m)")
+	jobDir := flag.String("job-dir", "", "directory for the durable WAL-backed job store; empty keeps jobs in memory (restarts lose them)")
+	webhookTimeout := flag.Duration("webhook-timeout", 0, "per-attempt budget of job completion-event deliveries (0 = default 5s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests and running jobs on shutdown")
 	quiet := flag.Bool("quiet", false, "disable per-request access logging")
 	flag.Parse()
@@ -92,20 +105,28 @@ func main() {
 	if !*quiet {
 		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	srv := service.NewServer(service.ServerConfig{
+	srv, err := service.NewServer(service.ServerConfig{
 		Config: service.Config{
-			Workers:       *workers,
-			MaxCandidates: *maxCandidates,
-			MaxBatch:      *maxBatch,
-			QueueDepth:    *queueDepth,
-			QueueWait:     *queueWait,
-			MaxJobs:       *maxJobs,
-			JobTTL:        *jobTTL,
-			AccessLog:     access,
+			Workers:        *workers,
+			MaxCandidates:  *maxCandidates,
+			MaxBatch:       *maxBatch,
+			QueueDepth:     *queueDepth,
+			QueueWait:      *queueWait,
+			MaxJobs:        *maxJobs,
+			JobTTL:         *jobTTL,
+			WebhookTimeout: *webhookTimeout,
+			AccessLog:      access,
 		},
 		Addr:         *addr,
 		DrainTimeout: *drainTimeout,
+		JobDir:       *jobDir,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jobDir != "" {
+		log.Printf("durable job store at %s: %d unfinished jobs resumed", *jobDir, srv.Recovered())
+	}
 
 	// Enumerate the servable surface from the generated catalog, so the
 	// startup log always matches GET /v1/algorithms.

@@ -1,0 +1,208 @@
+package gateway
+
+// Tests for the fleet-wide GET /v1/jobs fan-out: merged paging with
+// the composite cursor, ID prefix rewriting, state filtering, degraded
+// (partial) listings when a backend dies, and the cursor formats.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// submitFleetJobs pushes n single-item jobs through the gateway and
+// waits for all of them to finish, returning the prefixed IDs in
+// submission order.
+func submitFleetJobs(t *testing.T, gURL string, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		body := `{"requests": [` + rankBody(int64(100+i), 0) + `]}`
+		resp, payload := do(t, http.MethodPost, gURL+"/v1/jobs/rank", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, payload)
+		}
+		var sub service.JobSubmitResponse
+		if err := json.Unmarshal(payload, &sub); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = sub.ID
+		// Jobs are timestamp-merged; spacing the submissions keeps the
+		// fleet-wide creation order deterministic for the test.
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, id := range ids {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, payload := do(t, http.MethodGet, gURL+"/v1/jobs/"+id, "")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("poll %s: status %d", id, resp.StatusCode)
+			}
+			var st service.JobStatusResponse
+			if err := json.Unmarshal(payload, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.State == service.JobStateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, st.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return ids
+}
+
+func getList(t *testing.T, gURL, query string, wantStatus int) *JobListResponse {
+	t.Helper()
+	resp, payload := do(t, http.MethodGet, gURL+"/v1/jobs"+query, "")
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET /v1/jobs%s: status %d, want %d: %s", query, resp.StatusCode, wantStatus, payload)
+	}
+	if wantStatus != http.StatusOK {
+		return nil
+	}
+	var out JobListResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestGatewayJobListMerge: the merged listing covers every backend's
+// jobs exactly once, IDs carry their backend prefix and route back
+// through the gateway, and cursor paging walks the merged order
+// without gaps or duplicates.
+func TestGatewayJobListMerge(t *testing.T) {
+	_, gsrv, _ := startFleet(t, 3, nil)
+	ids := submitFleetJobs(t, gsrv.URL, 7)
+
+	full := getList(t, gsrv.URL, "", http.StatusOK)
+	if full.Partial || len(full.Unreachable) != 0 {
+		t.Fatalf("healthy fleet listed partial: %+v", full)
+	}
+	if len(full.Jobs) != len(ids) {
+		t.Fatalf("merged listing has %d jobs, want %d", len(full.Jobs), len(ids))
+	}
+	for _, j := range full.Jobs {
+		if !strings.Contains(j.ID, "-job-") {
+			t.Fatalf("listed ID %q lacks the backend prefix", j.ID)
+		}
+		if j.StatusURL != "/v1/jobs/"+j.ID {
+			t.Fatalf("listed StatusURL %q does not route back through the gateway", j.StatusURL)
+		}
+		if j.State != service.JobStateDone {
+			t.Fatalf("job %s listed as %q after completion", j.ID, j.State)
+		}
+	}
+	// Same set as the submissions, each exactly once.
+	want := append([]string(nil), ids...)
+	got := make([]string, len(full.Jobs))
+	for i, j := range full.Jobs {
+		got[i] = j.ID
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged set mismatch:\nwant %v\ngot  %v", want, got)
+		}
+	}
+	// The merge is oldest-first fleet-wide.
+	for i := 1; i < len(full.Jobs); i++ {
+		if full.Jobs[i].Created.Before(full.Jobs[i-1].Created) {
+			t.Fatalf("merged listing out of creation order at %d", i)
+		}
+	}
+
+	// Page through with limit=3: same jobs, same order, no overlap.
+	var paged []string
+	query := "?limit=3"
+	for pages := 0; ; pages++ {
+		if pages > len(ids) {
+			t.Fatal("cursor never exhausted")
+		}
+		page := getList(t, gsrv.URL, query, http.StatusOK)
+		if len(page.Jobs) > 3 {
+			t.Fatalf("page of %d jobs exceeds limit 3", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			paged = append(paged, j.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		query = "?limit=3&after=" + page.NextCursor
+	}
+	if len(paged) != len(full.Jobs) {
+		t.Fatalf("paged walk saw %d jobs, full listing %d", len(paged), len(full.Jobs))
+	}
+	for i := range paged {
+		if paged[i] != full.Jobs[i].ID {
+			t.Fatalf("paged walk diverged at %d: %q vs %q", i, paged[i], full.Jobs[i].ID)
+		}
+	}
+
+	// State filters fan out too; malformed queries are gateway 400s.
+	if page := getList(t, gsrv.URL, "?state=done", http.StatusOK); len(page.Jobs) != len(ids) {
+		t.Fatalf("state=done listed %d jobs, want %d", len(page.Jobs), len(ids))
+	}
+	if page := getList(t, gsrv.URL, "?state=cancelled", http.StatusOK); len(page.Jobs) != 0 {
+		t.Fatalf("state=cancelled listed %d jobs, want 0", len(page.Jobs))
+	}
+	getList(t, gsrv.URL, "?state=nope", http.StatusBadRequest)
+	getList(t, gsrv.URL, "?limit=x", http.StatusBadRequest)
+}
+
+// TestGatewayJobListPartial: losing a backend degrades the listing to
+// partial (with the dead backend named) instead of failing it.
+func TestGatewayJobListPartial(t *testing.T) {
+	g, gsrv, backends := startFleet(t, 2, nil)
+	submitFleetJobs(t, gsrv.URL, 4)
+
+	backends[0].Close()
+	// The listing degrades immediately — no need to wait for the probe
+	// loop to demote the backend, the fan-out's own failure marks it.
+	page := getList(t, gsrv.URL, "", http.StatusOK)
+	if !page.Partial || len(page.Unreachable) != 1 {
+		t.Fatalf("listing over a dead backend: partial=%v unreachable=%v", page.Partial, page.Unreachable)
+	}
+	for _, j := range page.Jobs {
+		if strings.HasPrefix(j.ID, page.Unreachable[0]+"-") {
+			t.Fatalf("job %s listed from the unreachable backend", j.ID)
+		}
+	}
+	_ = g
+}
+
+// TestListCursorRoundTrip pins the composite cursor codec.
+func TestListCursorRoundTrip(t *testing.T) {
+	in := map[string]string{"b0": "job-000003", "b2": "job-000001", "b10": "job-001000"}
+	raw := formatListCursor(in)
+	if raw != "b0=job-000003,b10=job-001000,b2=job-000001" {
+		t.Fatalf("cursor format unstable: %q", raw)
+	}
+	out := parseListCursor(raw)
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost entries: %v", out)
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("round trip mangled %q: %q", k, out[k])
+		}
+	}
+	// Unparseable pieces are dropped, not fatal: cursors are hints.
+	out = parseListCursor("b0=job-000001,garbage,=x,b1=")
+	if len(out) != 1 || out["b0"] != "job-000001" {
+		t.Fatalf("lenient parse: %v", out)
+	}
+	if formatListCursor(map[string]string{}) != "" {
+		t.Fatal("empty cursor renders nonempty")
+	}
+}

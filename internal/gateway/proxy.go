@@ -169,6 +169,11 @@ func (g *Gateway) Handler() http.Handler {
 		// later polls need no gateway-side affinity state.
 		g.forwardSharded(w, r, true, rewriteJobSubmit)
 	})
+	route("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// The fleet-wide listing: fan out to every serving backend,
+		// merge, and page with a composite cursor (see forwardJobList).
+		g.forwardJobList(w, r)
+	})
 	route("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		g.forwardJob(w, r)
 	})

@@ -43,10 +43,13 @@ func startFleet(t *testing.T, n int, mutate func(*Config)) (*Gateway, *httptest.
 	backends := make([]*service.Server, n)
 	urls := make([]string, n)
 	for i := range backends {
-		srv := service.NewServer(service.ServerConfig{
+		srv, err := service.NewServer(service.ServerConfig{
 			Config: service.Config{Workers: 2},
 			Addr:   "127.0.0.1:0",
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := srv.Start(); err != nil {
 			t.Fatal(err)
 		}
@@ -288,11 +291,14 @@ func TestGatewayJobLifecycle(t *testing.T) {
 		t.Fatalf("done job items=%d completed=%d failed=%d, want 2/2/0", len(st.Items), st.Completed, st.Failed)
 	}
 
-	if resp, _ = do(t, http.MethodDelete, gsrv.URL+sub.StatusURL, ""); resp.StatusCode != http.StatusNoContent {
-		t.Fatalf("delete status %d, want 204", resp.StatusCode)
+	// Deleting a finished job is the backend's 409, passed through with
+	// the conflict body intact; the result stays fetchable.
+	resp, payload = do(t, http.MethodDelete, gsrv.URL+sub.StatusURL, "")
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(payload), "conflict") {
+		t.Fatalf("delete finished job: status %d body %s, want 409", resp.StatusCode, payload)
 	}
-	if resp, _ = do(t, http.MethodGet, gsrv.URL+sub.StatusURL, ""); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("poll after delete: status %d, want 404", resp.StatusCode)
+	if resp, _ = do(t, http.MethodGet, gsrv.URL+sub.StatusURL, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll after refused delete: status %d, want 200", resp.StatusCode)
 	}
 
 	// An ID without a known backend prefix is the gateway's own 404 —

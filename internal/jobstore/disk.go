@@ -1,0 +1,565 @@
+package jobstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Disk is the durable Store: one append-only JSON-lines WAL per job
+// (`<id>.wal`) plus a compacting snapshot (`<id>.snap`, a single
+// snapshot record written via tmp-file + rename). Every mutation
+// appends a record; state transitions fsync (item appends ride the
+// page cache, which survives a process SIGKILL, and the next
+// transition flushes them). When a job's WAL grows past snapshotEvery
+// records it is folded into the snapshot and truncated; a terminal
+// transition folds everything into the snapshot and deletes the WAL.
+//
+// OpenDisk replays the directory: snapshot first, then the WAL on top,
+// truncating the file at the first torn or corrupt record (the classic
+// corrupt-tail rule — everything before the tear is intact because
+// records are appended in order). Replay is idempotent against the
+// crash windows of compaction: a duplicate create is skipped, item
+// records overwrite their slot without double-counting, and a stale
+// state record can never regress a terminal snapshot.
+type Disk struct {
+	dir string
+	// snapshotEvery is the WAL-records-per-job threshold that triggers
+	// mid-life compaction. In-package tests shrink it to force
+	// compaction windows; everyone else gets the default.
+	snapshotEvery int
+
+	mu      sync.Mutex
+	jobs    map[string]*diskJob
+	seq     uint64
+	evicted int64
+}
+
+type diskJob struct {
+	job     Job
+	claimed bool
+	// wal is the open append handle; nil once the job is terminal and
+	// fully compacted into its snapshot.
+	wal      *os.File
+	appended int
+}
+
+const defaultSnapshotEvery = 256
+
+// maxReplayTotal bounds the item count a replayed record may declare.
+// The WAL is trusted input written by this process, but replay runs
+// under a fuzzer and a corrupt length must tear the tail, not allocate
+// unbounded memory.
+const maxReplayTotal = 1 << 20
+
+// walRecord is one JSON line. Op selects which fields matter: "create"
+// and "snapshot" carry Job; "state" carries State/At; "item" carries
+// I/Failed/Result; "webhook" carries nothing.
+type walRecord struct {
+	Op    string          `json:"op"`
+	Job   *walJob         `json:"job,omitempty"`
+	State State           `json:"state,omitempty"`
+	At    time.Time       `json:"at,omitzero"`
+	Index int             `json:"i,omitempty"`
+	Fail  bool            `json:"failed,omitempty"`
+	Res   json.RawMessage `json:"result,omitempty"`
+}
+
+const (
+	opCreate   = "create"
+	opState    = "state"
+	opItem     = "item"
+	opWebhook  = "webhook"
+	opSnapshot = "snapshot"
+)
+
+// walJob is the serialized Job inside create and snapshot records.
+// Incomplete item slots marshal as JSON null; toJob maps them back to
+// nil (a RawMessage holding literal null is not a stored result).
+type walJob struct {
+	ID          string            `json:"id"`
+	State       State             `json:"state"`
+	Created     time.Time         `json:"created"`
+	Finished    time.Time         `json:"finished,omitzero"`
+	Total       int               `json:"total"`
+	Failed      int               `json:"failed,omitempty"`
+	WebhookURL  string            `json:"webhook_url,omitempty"`
+	WebhookSent bool              `json:"webhook_sent,omitempty"`
+	Request     json.RawMessage   `json:"request,omitempty"`
+	Items       []json.RawMessage `json:"items,omitempty"`
+}
+
+func (w *walJob) valid() bool {
+	_, okID := seqOf(w.ID)
+	return okID && w.State.valid() &&
+		w.Total >= 0 && w.Total <= maxReplayTotal && len(w.Items) <= w.Total
+}
+
+// toJob rebuilds the in-memory record. Completed derives from the
+// filled slots (applyItem's bookkeeping depends on that invariant);
+// Failed is taken from the record, capped by what the slots allow.
+func (w *walJob) toJob() *Job {
+	j := &Job{
+		ID: w.ID, State: w.State, Created: w.Created, Finished: w.Finished,
+		Total: w.Total, WebhookURL: w.WebhookURL, WebhookSent: w.WebhookSent,
+		Request: w.Request,
+	}
+	j.Items = make([]json.RawMessage, w.Total)
+	for i, it := range w.Items {
+		if len(it) > 0 && !bytes.Equal(it, []byte("null")) {
+			j.Items[i] = it
+			j.Completed++
+		}
+	}
+	j.Failed = min(w.Failed, j.Completed)
+	return j
+}
+
+func snapJob(j *Job) *walJob {
+	return &walJob{
+		ID: j.ID, State: j.State, Created: j.Created, Finished: j.Finished,
+		Total: j.Total, Failed: j.Failed, WebhookURL: j.WebhookURL,
+		WebhookSent: j.WebhookSent, Request: j.Request, Items: j.Items,
+	}
+}
+
+// OpenDisk opens (creating if needed) a durable store rooted at dir
+// and replays every job it finds there. Only real I/O errors fail the
+// open; corrupt data is truncated away per the corrupt-tail rule.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: open %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir, snapshotEvery: defaultSnapshotEvery, jobs: make(map[string]*diskJob)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open %s: %w", dir, err)
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A compaction that died before its rename; the WAL (or the
+			// previous snapshot) is still authoritative.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimSuffix(name, ".wal"), ".snap")
+		if id == name {
+			continue
+		}
+		if _, ok := seqOf(id); ok && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := d.replayJob(id); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("jobstore: replay %s: %w", id, err)
+		}
+	}
+	return d, nil
+}
+
+func (d *Disk) walPath(id string) string  { return filepath.Join(d.dir, id+".wal") }
+func (d *Disk) snapPath(id string) string { return filepath.Join(d.dir, id+".snap") }
+
+func (d *Disk) replayJob(id string) error {
+	var job *Job
+	if raw, err := os.ReadFile(d.snapPath(id)); err == nil {
+		var rec walRecord
+		if json.Unmarshal(bytes.TrimSpace(raw), &rec) == nil &&
+			rec.Op == opSnapshot && rec.Job != nil && rec.Job.ID == id && rec.Job.valid() {
+			job = rec.Job.toJob()
+		} else {
+			// A corrupt snapshot cannot happen through the tmp+rename
+			// protocol, but replay tolerates it: drop the file and fall
+			// back to whatever the WAL says.
+			os.Remove(d.snapPath(id))
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	walPath := d.walPath(id)
+	walRaw, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err == nil {
+		good := 0
+		for off := 0; off < len(walRaw); {
+			nl := bytes.IndexByte(walRaw[off:], '\n')
+			if nl < 0 {
+				break // torn final record: the newline never made it out
+			}
+			var rec walRecord
+			if json.Unmarshal(walRaw[off:off+nl], &rec) != nil || !applyRecord(&job, id, &rec) {
+				break
+			}
+			off += nl + 1
+			good = off
+		}
+		if good < len(walRaw) {
+			if err := os.Truncate(walPath, int64(good)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if job == nil {
+		// Nothing intact — an empty or corrupt-from-the-start WAL with
+		// no snapshot. The job was never acknowledged; forget it.
+		os.Remove(walPath)
+		os.Remove(d.snapPath(id))
+		return nil
+	}
+	if n, ok := seqOf(job.ID); ok && n > d.seq {
+		d.seq = n
+	}
+	dj := &diskJob{job: *job}
+	if job.State.Terminal() {
+		// Normalize an interrupted compaction: fold the replayed state
+		// into the snapshot and drop the WAL.
+		if err := d.writeSnapshot(dj); err != nil {
+			return err
+		}
+		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	} else {
+		f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		dj.wal = f
+	}
+	d.jobs[job.ID] = dj
+	return nil
+}
+
+// applyRecord folds one replayed WAL record into job. It returns false
+// when the record is corrupt — replay stops there and truncates the
+// tail. Records made redundant by a compaction crash window (duplicate
+// create, pre-snapshot items or states) apply idempotently instead.
+func applyRecord(job **Job, id string, rec *walRecord) bool {
+	switch rec.Op {
+	case opCreate:
+		if rec.Job == nil || rec.Job.ID != id || !rec.Job.valid() {
+			return false
+		}
+		if *job == nil {
+			*job = rec.Job.toJob()
+		}
+		return true
+	case opState:
+		if *job == nil || !rec.State.valid() {
+			return false
+		}
+		applyState(*job, rec.State, rec.At)
+		return true
+	case opItem:
+		if *job == nil {
+			return false
+		}
+		applyItem(*job, rec.Index, rec.Res, rec.Fail)
+		return true
+	case opWebhook:
+		if *job == nil {
+			return false
+		}
+		(*job).WebhookSent = true
+		return true
+	}
+	return false
+}
+
+// append marshals rec onto the job's WAL; sync forces the record to
+// stable storage before returning.
+func (d *Disk) append(dj *diskJob, rec *walRecord, sync bool) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := dj.wal.Write(append(raw, '\n')); err != nil {
+		return err
+	}
+	dj.appended++
+	if sync {
+		return dj.wal.Sync()
+	}
+	return nil
+}
+
+// writeSnapshot persists the job's full state as `<id>.snap` via the
+// tmp-write / fsync / rename protocol, then fsyncs the directory so
+// the rename itself is durable.
+func (d *Disk) writeSnapshot(dj *diskJob) error {
+	raw, err := json.Marshal(&walRecord{Op: opSnapshot, Job: snapJob(&dj.job)})
+	if err != nil {
+		return err
+	}
+	tmp := d.snapPath(dj.job.ID) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.snapPath(dj.job.ID)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+func (d *Disk) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// compact folds the job into its snapshot. Terminal jobs lose their
+// WAL entirely; live jobs keep the handle and start appending from a
+// truncated file.
+func (d *Disk) compact(dj *diskJob) error {
+	if err := d.writeSnapshot(dj); err != nil {
+		return err
+	}
+	dj.appended = 0
+	if dj.job.State.Terminal() {
+		if dj.wal != nil {
+			dj.wal.Close()
+			dj.wal = nil
+		}
+		if err := os.Remove(d.walPath(dj.job.ID)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return d.syncDir()
+	}
+	return dj.wal.Truncate(0)
+}
+
+func (d *Disk) Create(job *Job) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	job.ID = formatID(d.seq)
+	if job.State == "" {
+		job.State = StatePending
+	}
+	if job.Created.IsZero() {
+		job.Created = time.Now()
+	}
+	dj := &diskJob{job: *job.clone(), claimed: true}
+	if dj.job.Items == nil {
+		dj.job.Items = make([]json.RawMessage, dj.job.Total)
+	}
+	f, err := os.OpenFile(d.walPath(job.ID), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		d.seq--
+		return err
+	}
+	dj.wal = f
+	if err := d.append(dj, &walRecord{Op: opCreate, Job: snapJob(&dj.job)}, true); err != nil {
+		f.Close()
+		os.Remove(d.walPath(job.ID))
+		d.seq--
+		return err
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		os.Remove(d.walPath(job.ID))
+		d.seq--
+		return err
+	}
+	d.jobs[job.ID] = dj
+	return nil
+}
+
+func (d *Disk) Get(id string) (*Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dj, ok := d.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return dj.job.clone(), true
+}
+
+func (d *Disk) List(q ListQuery) ListPage {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return listFrom(q, len(d.jobs), func(visit func(seq uint64, j *Job)) {
+		for id, dj := range d.jobs {
+			if n, ok := seqOf(id); ok {
+				visit(n, &dj.job)
+			}
+		}
+	})
+}
+
+func (d *Disk) SetState(id string, state State) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dj, ok := d.jobs[id]
+	if !ok {
+		return nil
+	}
+	if state == StatePending {
+		dj.claimed = false
+	}
+	before := dj.job.State
+	now := time.Now()
+	applyState(&dj.job, state, now)
+	if dj.job.State == before || dj.wal == nil {
+		return nil
+	}
+	if err := d.append(dj, &walRecord{Op: opState, State: dj.job.State, At: now}, false); err != nil {
+		return err
+	}
+	if dj.job.State.Terminal() || dj.appended >= d.snapshotEvery {
+		// The compaction snapshot is fsync'd, which flushes the append
+		// along the way.
+		return d.compact(dj)
+	}
+	return dj.wal.Sync()
+}
+
+func (d *Disk) PutItem(id string, idx int, result json.RawMessage, failed bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dj, ok := d.jobs[id]
+	if !ok || idx < 0 || idx >= dj.job.Total {
+		return nil
+	}
+	applyItem(&dj.job, idx, result, failed)
+	if dj.wal == nil {
+		return nil
+	}
+	if err := d.append(dj, &walRecord{Op: opItem, Index: idx, Res: result, Fail: failed}, false); err != nil {
+		return err
+	}
+	if dj.appended >= d.snapshotEvery {
+		return d.compact(dj)
+	}
+	return nil
+}
+
+func (d *Disk) MarkWebhookSent(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dj, ok := d.jobs[id]
+	if !ok {
+		return nil
+	}
+	dj.job.WebhookSent = true
+	if dj.wal != nil {
+		return d.append(dj, &walRecord{Op: opWebhook}, true)
+	}
+	// Terminal and compacted: the snapshot is the only persistent form
+	// left, so rewrite it.
+	return d.writeSnapshot(dj)
+}
+
+// Claim is process-local (claims are about which goroutine supervises
+// the job, not about durability) — nothing is appended. After a crash
+// the job replays in its last persisted state, unclaimed, and the
+// resume path claims it again.
+func (d *Disk) Claim(id string) (*Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dj, ok := d.jobs[id]
+	if !ok || dj.claimed || dj.job.State.Terminal() {
+		return nil, false
+	}
+	dj.claimed = true
+	dj.job.State = StateRunning
+	return dj.job.clone(), true
+}
+
+func (d *Disk) Remove(id string) (*Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.removeLocked(id)
+}
+
+func (d *Disk) removeLocked(id string) (*Job, bool) {
+	dj, ok := d.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if dj.wal != nil {
+		dj.wal.Close()
+		dj.wal = nil
+	}
+	os.Remove(d.walPath(id))
+	os.Remove(d.snapPath(id))
+	d.syncDir()
+	delete(d.jobs, id)
+	return dj.job.clone(), true
+}
+
+func (d *Disk) Sweep(now time.Time, ttl time.Duration) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var expiredIDs []string
+	for id, dj := range d.jobs {
+		if expired(&dj.job, now, ttl) {
+			expiredIDs = append(expiredIDs, id)
+		}
+	}
+	for _, id := range expiredIDs {
+		d.removeLocked(id)
+	}
+	d.evicted += int64(len(expiredIDs))
+	return len(expiredIDs)
+}
+
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.jobs)
+}
+
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Stats{Stored: len(d.jobs), Submitted: int64(d.seq), Evicted: d.evicted}
+	for _, dj := range d.jobs {
+		countState(&st, dj.job.State)
+	}
+	return st
+}
+
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, dj := range d.jobs {
+		if dj.wal != nil {
+			dj.wal.Close()
+			dj.wal = nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package jobstore is the durable persistence layer under the serving
+// pipeline's async jobs: a Store interface over job records —
+// create/get/list-with-paging/update-state/claim/remove — with two
+// implementations. Mem keeps everything in process memory (the PR 5
+// behavior, refitted behind the interface); Disk survives restarts by
+// appending every mutation to a per-job JSON-lines write-ahead log,
+// fsync'd on state transitions, compacted into a single-record snapshot
+// as the log grows and when the job reaches a terminal state.
+//
+// The store holds *records*, not goroutines: the serving layer
+// (internal/service) owns supervisors, contexts, and the admission
+// queue, and treats the payloads it stores here — the batch request and
+// the per-item results — as opaque JSON. That split is what makes
+// resume-on-restart work: a restarted process replays the WAL, Claims
+// every unfinished record, and re-runs exactly the items whose results
+// are missing; the per-item requests carry their own seeds, so the
+// re-run is bit-identical to the run the crash interrupted.
+//
+// Concurrency: every Store implementation is safe for concurrent use,
+// and every Job leaving the store is a snapshot copy — callers can read
+// it without holding any store lock, and mutating it affects nothing.
+package jobstore
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// State is a job's lifecycle state. Pending and Running are "unfinished"
+// (a restart resumes them); Done and Cancelled are terminal.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool { return s == StateDone || s == StateCancelled }
+
+// valid reports whether s is one of the four lifecycle states.
+func (s State) valid() bool {
+	switch s {
+	case StatePending, StateRunning, StateDone, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Job is one stored job record. The store assigns ID on Create and owns
+// every field afterwards; the Request payload and the per-item Results
+// are opaque JSON to the store (the serving layer defines their shape).
+type Job struct {
+	// ID is store-assigned, sequential ("job-000017"), and never reused
+	// while the jobs that defined the sequence remain on disk.
+	ID string
+	// State is the lifecycle state; transitions persist through SetState.
+	State State
+	// Created and Finished bracket the job's life; Finished is zero
+	// until the job reaches a terminal state.
+	Created  time.Time
+	Finished time.Time
+	// Total is the number of items the job ranks; Completed counts items
+	// with a stored result, Failed the subset whose result is an error.
+	Total     int
+	Completed int
+	Failed    int
+	// WebhookURL, when nonempty, is the completion-event subscription
+	// registered at submit time; WebhookSent records a successful
+	// delivery, so a restart redelivers unsent events (at-least-once).
+	WebhookURL  string
+	WebhookSent bool
+	// Request is the submitted batch payload, opaque to the store.
+	Request json.RawMessage
+	// Items holds one result slot per item, index-aligned with the batch
+	// entries; nil slots are not yet completed. Result bytes are treated
+	// as immutable by everyone.
+	Items []json.RawMessage
+}
+
+// clone returns a snapshot copy safe to hand out of the store: the
+// Items slice is copied (the RawMessage contents are shared but
+// immutable by convention).
+func (j *Job) clone() *Job {
+	c := *j
+	if j.Items != nil {
+		c.Items = make([]json.RawMessage, len(j.Items))
+		copy(c.Items, j.Items)
+	}
+	return &c
+}
+
+// seqOf parses the numeric suffix of a store-assigned ID; ok is false
+// for foreign IDs. Numeric ordering is the store's listing order — the
+// zero-padded string form sorts identically only below 10^6, so cursors
+// compare by sequence number, never by string.
+func seqOf(id string) (uint64, bool) {
+	rest, found := strings.CutPrefix(id, "job-")
+	if !found || rest == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// formatID renders sequence number n as a store ID.
+func formatID(n uint64) string {
+	id := strconv.FormatUint(n, 10)
+	for len(id) < 6 {
+		id = "0" + id
+	}
+	return "job-" + id
+}
+
+// ListQuery selects a page of jobs, in creation (sequence) order.
+type ListQuery struct {
+	// States filters to the given states; empty means all.
+	States []State
+	// After is the exclusive cursor: only jobs created after the job
+	// with this ID are returned. Empty starts from the beginning. An
+	// unparseable cursor lists from the beginning (cursors are opaque
+	// hints, not capabilities).
+	After string
+	// Limit bounds the page size; <= 0 means no bound.
+	Limit int
+}
+
+func (q ListQuery) matches(s State) bool {
+	if len(q.States) == 0 {
+		return true
+	}
+	for _, want := range q.States {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// ListPage is one page of List results.
+type ListPage struct {
+	// Jobs holds the page, in creation order (snapshot copies).
+	Jobs []*Job
+	// NextCursor is the After value of the next page; empty when the
+	// listing is exhausted.
+	NextCursor string
+}
+
+// Stats is the store-level gauge snapshot for the metrics endpoint.
+type Stats struct {
+	// Stored counts jobs currently held; the per-state gauges
+	// partition it.
+	Stored    int
+	Pending   int
+	Running   int
+	Done      int
+	Cancelled int
+	// Submitted is the highest sequence number ever assigned (jobs ever
+	// accepted, as far as the store can still tell after replay);
+	// Evicted counts jobs dropped by Sweep since the store opened.
+	Submitted int64
+	Evicted   int64
+}
+
+// Store holds job records. Implementations are safe for concurrent use;
+// all returned jobs are snapshot copies.
+type Store interface {
+	// Create assigns the next sequential ID, persists the record, and
+	// fills job.ID. Durable implementations fsync before returning: a
+	// job the caller acknowledged is a job a restart will find. The
+	// created job counts as claimed — the creating process runs it.
+	Create(job *Job) error
+
+	// Get returns a snapshot of the job, or ok=false if the store does
+	// not hold it.
+	Get(id string) (*Job, bool)
+
+	// List returns one page of jobs in creation order; see ListQuery.
+	List(q ListQuery) ListPage
+
+	// SetState persists a state transition (fsync'd in durable
+	// implementations). Transitioning into a terminal state stamps
+	// Finished and compacts the job's log into a snapshot; transitioning
+	// a running job back to StatePending releases its claim — the drain
+	// path's "hand the job back to the store" move. Unknown IDs are a
+	// no-op (the job raced a Remove), not an error.
+	SetState(id string, state State) error
+
+	// PutItem persists item idx's result. Appends are not individually
+	// fsync'd — a process crash cannot lose buffered appends (the page
+	// cache survives SIGKILL), and the next state transition flushes
+	// them. Unknown IDs are a no-op.
+	PutItem(id string, idx int, result json.RawMessage, failed bool) error
+
+	// MarkWebhookSent durably records a successful completion-event
+	// delivery, so restarts stop redelivering. Unknown IDs are a no-op.
+	MarkWebhookSent(id string) error
+
+	// Claim marks an unfinished, unclaimed job as running under the
+	// caller and returns its snapshot — the resume path's handshake. It
+	// returns ok=false for unknown, terminal, or already-claimed jobs.
+	Claim(id string) (*Job, bool)
+
+	// Remove deletes the job and returns its last snapshot.
+	Remove(id string) (*Job, bool)
+
+	// Sweep drops terminal jobs whose Finished time is at least ttl ago
+	// and returns how many it evicted.
+	Sweep(now time.Time, ttl time.Duration) int
+
+	// Len counts stored jobs.
+	Len() int
+
+	// Stats snapshots the store's gauges.
+	Stats() Stats
+
+	// Close releases the store's resources. The caller guarantees no
+	// concurrent or subsequent use.
+	Close() error
+}

@@ -1,0 +1,247 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mem is the in-memory Store: the PR 5 job-store behavior refitted
+// behind the interface. Records die with the process — it is the
+// default for tests, embedded uses, and servers run without -job-dir.
+type Mem struct {
+	mu      sync.Mutex
+	jobs    map[string]*memJob
+	seq     uint64
+	evicted int64
+}
+
+type memJob struct {
+	job     Job
+	claimed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{jobs: make(map[string]*memJob)}
+}
+
+func (m *Mem) Create(job *Job) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	job.ID = formatID(m.seq)
+	if job.State == "" {
+		job.State = StatePending
+	}
+	if job.Created.IsZero() {
+		job.Created = time.Now()
+	}
+	j := &memJob{job: *job.clone(), claimed: true}
+	if j.job.Items == nil {
+		j.job.Items = make([]json.RawMessage, j.job.Total)
+	}
+	m.jobs[job.ID] = j
+	return nil
+}
+
+func (m *Mem) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.job.clone(), true
+}
+
+func (m *Mem) List(q ListQuery) ListPage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return listFrom(q, len(m.jobs), func(visit func(seq uint64, j *Job)) {
+		for id, j := range m.jobs {
+			if n, ok := seqOf(id); ok {
+				visit(n, &j.job)
+			}
+		}
+	})
+}
+
+func (m *Mem) SetState(id string, state State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil
+	}
+	applyState(&j.job, state, time.Now())
+	if state == StatePending {
+		j.claimed = false
+	}
+	return nil
+}
+
+func (m *Mem) PutItem(id string, idx int, result json.RawMessage, failed bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil
+	}
+	applyItem(&j.job, idx, result, failed)
+	return nil
+}
+
+func (m *Mem) MarkWebhookSent(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.job.WebhookSent = true
+	}
+	return nil
+}
+
+func (m *Mem) Claim(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.claimed || j.job.State.Terminal() {
+		return nil, false
+	}
+	j.claimed = true
+	j.job.State = StateRunning
+	return j.job.clone(), true
+}
+
+func (m *Mem) Remove(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	delete(m.jobs, id)
+	return j.job.clone(), true
+}
+
+func (m *Mem) Sweep(now time.Time, ttl time.Duration) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, j := range m.jobs {
+		if expired(&j.job, now, ttl) {
+			delete(m.jobs, id)
+			n++
+		}
+	}
+	m.evicted += int64(n)
+	return n
+}
+
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Stored: len(m.jobs), Submitted: int64(m.seq), Evicted: m.evicted}
+	for _, j := range m.jobs {
+		countState(&st, j.job.State)
+	}
+	return st
+}
+
+func (m *Mem) Close() error { return nil }
+
+// --- shared record mechanics (used by Mem and Disk) ---
+
+// applyState applies one state transition to a record. Terminal states
+// are sticky (only Remove undoes them) and the first terminal
+// transition stamps Finished; replaying a duplicate transition is
+// idempotent.
+func applyState(j *Job, state State, at time.Time) {
+	if !state.valid() || j.State == state {
+		return
+	}
+	if j.State.Terminal() && !state.Terminal() {
+		return
+	}
+	j.State = state
+	if state.Terminal() && j.Finished.IsZero() {
+		j.Finished = at
+	}
+}
+
+// applyItem stores item idx's result, growing the slot slice inside the
+// job's Total bound and keeping the progress counters consistent.
+// Out-of-range indices are dropped (a corrupt replay record must not
+// grow unbounded memory); overwriting a filled slot is idempotent and
+// never double-counts.
+func applyItem(j *Job, idx int, result json.RawMessage, failed bool) {
+	if idx < 0 || idx >= j.Total {
+		return
+	}
+	if len(j.Items) < j.Total {
+		grown := make([]json.RawMessage, j.Total)
+		copy(grown, j.Items)
+		j.Items = grown
+	}
+	if j.Items[idx] == nil {
+		j.Completed++
+		if failed {
+			j.Failed++
+		}
+	}
+	j.Items[idx] = result
+}
+
+func expired(j *Job, now time.Time, ttl time.Duration) bool {
+	return j.State.Terminal() && now.Sub(j.Finished) >= ttl
+}
+
+func countState(st *Stats, s State) {
+	switch s {
+	case StatePending:
+		st.Pending++
+	case StateRunning:
+		st.Running++
+	case StateDone:
+		st.Done++
+	case StateCancelled:
+		st.Cancelled++
+	}
+}
+
+// listFrom assembles one List page from an implementation's record
+// iterator: collect the matching jobs past the cursor, order them by
+// sequence number, cut the page, and report whether anything remains.
+func listFrom(q ListQuery, capHint int, each func(visit func(seq uint64, j *Job))) ListPage {
+	var after uint64
+	if q.After != "" {
+		after, _ = seqOf(q.After) // unparseable cursors list from the start
+	}
+	type entry struct {
+		seq uint64
+		job *Job
+	}
+	matched := make([]entry, 0, capHint)
+	each(func(seq uint64, j *Job) {
+		if seq > after && q.matches(j.State) {
+			matched = append(matched, entry{seq, j})
+		}
+	})
+	sort.Slice(matched, func(a, b int) bool { return matched[a].seq < matched[b].seq })
+	page := ListPage{}
+	for i, e := range matched {
+		if q.Limit > 0 && i >= q.Limit {
+			page.NextCursor = page.Jobs[len(page.Jobs)-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, e.job.clone())
+	}
+	return page
+}

@@ -155,9 +155,10 @@ func TestGoldenMetrics(t *testing.T) {
 // TestGoldenJobLifecycle pins the async-job wire formats across one
 // full lifecycle on a single fresh handler: the 202 submit response
 // (IDs are sequential per service, so a fresh store always answers
-// job-000001), the done status with its items, and the 404 after
-// deletion. The intermediate poll loop is not golden — its progress
-// values race the supervisor — but the terminal responses are exact.
+// job-000001), the done status with its items, the 409 a delete of a
+// finished job earns, and the 404 for a job that never existed. The
+// intermediate poll loop is not golden — its progress values race the
+// supervisor — but the terminal responses are exact.
 func TestGoldenJobLifecycle(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
@@ -201,14 +202,14 @@ func TestGoldenJobLifecycle(t *testing.T) {
 	goldenCompare(t, "job_status_done",
 		goldenServe(t, h, http.MethodGet, "/v1/jobs/job-000001", "", http.StatusOK))
 
-	req := httptest.NewRequest(http.MethodDelete, "/v1/jobs/job-000001", strings.NewReader(""))
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusNoContent {
-		t.Fatalf("delete returned %d", rec.Code)
-	}
+	// Deleting a finished job is refused: 409 with a stable error body,
+	// and the result stays fetchable until the TTL sweep takes it.
+	goldenCompare(t, "job_delete_conflict",
+		goldenServe(t, h, http.MethodDelete, "/v1/jobs/job-000001", "", http.StatusConflict))
+	goldenCompare(t, "job_status_done",
+		goldenServe(t, h, http.MethodGet, "/v1/jobs/job-000001", "", http.StatusOK))
 	goldenCompare(t, "job_not_found",
-		goldenServe(t, h, http.MethodGet, "/v1/jobs/job-000001", "", http.StatusNotFound))
+		goldenServe(t, h, http.MethodGet, "/v1/jobs/job-999999", "", http.StatusNotFound))
 }
 
 func TestGoldenAlgorithms(t *testing.T) {

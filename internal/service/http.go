@@ -20,9 +20,13 @@ const maxBodyBytes = 32 << 20
 //
 //	POST   /v1/rank        RankRequest  → RankResponse (sync)
 //	POST   /v1/rank/batch  BatchRequest → BatchResponse (sync)
-//	POST   /v1/jobs/rank   BatchRequest → JobSubmitResponse (async, 202)
+//	POST   /v1/jobs/rank   BatchRequest → JobSubmitResponse (async, 202;
+//	                       webhook_url subscribes to the completion event)
+//	GET    /v1/jobs        JobListResponse (cursor paging via ?after=,
+//	                       ?limit=, state filters via repeated ?state=)
 //	GET    /v1/jobs/{id}   JobStatusResponse (progress; items once done)
-//	DELETE /v1/jobs/{id}   cancel/delete a job (204)
+//	DELETE /v1/jobs/{id}   cancel+delete an unfinished job (204); a
+//	                       finished job is 409 (eviction is the TTL's job)
 //	GET    /v1/algorithms  CatalogResponse (introspection)
 //	GET    /v1/metrics     MetricsResponse (transport/queue/jobs/engine)
 //	GET    /healthz        liveness probe (process is up)
@@ -35,8 +39,9 @@ const maxBodyBytes = 32 << 20
 // served by GET /v1/metrics.
 //
 // Error mapping: request-caused failures (ErrInvalid, malformed JSON)
-// return 400 with a JSON {"error": "..."} body; unknown job IDs 404; a
-// saturated admission queue or job store 429 with Retry-After; a
+// return 400 with a JSON {"error": "..."} body; unknown job IDs 404;
+// deleting a finished job 409; a saturated admission queue or job
+// store 429 with Retry-After; a
 // draining service 503 (new jobs) with Retry-After; a client
 // cancellation 499; a deadline expiry 504; anything else 500. Each
 // request's context flows into the sampling loops, so client
@@ -81,6 +86,24 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, resp)
+	})
+	route("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit := 0
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 1 {
+				s.writeError(w, invalidf("limit %q is not a positive integer", raw))
+				return
+			}
+			limit = n
+		}
+		resp, err := s.ListJobs(q["state"], q.Get("after"), limit)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	route("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		resp, err := s.JobStatus(r.PathValue("id"))
@@ -138,6 +161,8 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
 	case errors.Is(err, ErrSaturated):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.queue.RetryAfter().Seconds())))

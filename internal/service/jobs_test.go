@@ -68,11 +68,13 @@ func TestJobLifecycle(t *testing.T) {
 			t.Fatalf("item %d carries seed %d (reordered?)", i, item.Response.Diagnostics.Seed)
 		}
 	}
-	if err := s.CancelJob(sub.ID); err != nil {
-		t.Fatalf("delete finished job: %v", err)
+	// A finished job is not deletable (409 on the wire): eviction is the
+	// TTL sweeper's job, and the result stays fetchable meanwhile.
+	if err := s.CancelJob(sub.ID); !errors.Is(err, ErrConflict) {
+		t.Fatalf("delete finished job: %v, want ErrConflict", err)
 	}
-	if _, err := s.JobStatus(sub.ID); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("deleted job still pollable: %v", err)
+	if _, err := s.JobStatus(sub.ID); err != nil {
+		t.Fatalf("finished job must stay pollable after the refused delete: %v", err)
 	}
 }
 
@@ -158,19 +160,26 @@ func TestJobCancellation(t *testing.T) {
 	}
 }
 
-// TestJobTTLEviction: finished jobs are evicted TTL after completion —
-// lazily, on the next store access — and counted.
+// TestJobTTLEviction: finished jobs are evicted TTL after completion by
+// the background sweeper — with no store access required to trigger it —
+// and counted in the gauges.
 func TestJobTTLEviction(t *testing.T) {
-	s := New(Config{Workers: 2, JobTTL: 5 * time.Millisecond})
+	s := New(Config{Workers: 2, JobTTL: 5 * time.Millisecond, SweepEvery: 5 * time.Millisecond})
 	defer s.Close()
 	sub, err := s.SubmitJob(&BatchRequest{Requests: []RankRequest{{Candidates: pool(6), Seed: 1}}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitDone(t, s, sub.ID)
-	time.Sleep(10 * time.Millisecond)
-	if _, err := s.JobStatus(sub.ID); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("expired job still pollable: %v", err)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.JobStatus(sub.ID); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired job still pollable: the background sweeper never evicted it")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	if g := s.jobGauges(); g.Evicted != 1 || g.Stored != 0 {
 		t.Errorf("gauges after eviction: %+v", g)
@@ -304,6 +313,8 @@ func TestHTTPJobLifecycle(t *testing.T) {
 		t.Fatalf("done status %+v", st)
 	}
 
+	// Deleting the finished job is a conflict with a stable error body —
+	// it never races the TTL sweep — and the result stays fetchable.
 	del, err := http.NewRequest(http.MethodDelete, srv.URL+sub.StatusURL, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -312,17 +323,27 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var conflict struct {
+		Error string `json:"error"`
+	}
+	conflictDecodeErr := json.NewDecoder(r3.Body).Decode(&conflict)
 	r3.Body.Close()
-	if r3.StatusCode != http.StatusNoContent {
-		t.Fatalf("delete status %d", r3.StatusCode)
+	if r3.StatusCode != http.StatusConflict {
+		t.Fatalf("delete finished job status %d, want 409", r3.StatusCode)
+	}
+	if conflictDecodeErr != nil {
+		t.Fatal(conflictDecodeErr)
+	}
+	if want := `conflict: job "` + sub.ID + `" is already done`; conflict.Error != want {
+		t.Fatalf("409 body %q, want the stable %q", conflict.Error, want)
 	}
 	r4, err := http.Get(srv.URL + sub.StatusURL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r4.Body.Close()
-	if r4.StatusCode != http.StatusNotFound {
-		t.Fatalf("deleted job poll status %d, want 404", r4.StatusCode)
+	if r4.StatusCode != http.StatusOK {
+		t.Fatalf("finished job poll after refused delete: status %d, want 200", r4.StatusCode)
 	}
 
 	// Drain: readiness flips, liveness stays, submissions refuse.

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"repro/internal/jobstore"
 )
 
 // ServerConfig parameterizes a Server: the service configuration plus
@@ -20,8 +22,17 @@ type ServerConfig struct {
 	Addr string
 	// DrainTimeout is the grace period Shutdown grants in-flight
 	// requests and running jobs when its context carries no deadline of
-	// its own. Default 30s.
+	// its own. Default 30s. When the grace period expires with jobs
+	// still running, a durable store (JobDir) keeps their progress: the
+	// supervisors hand the jobs back as pending on the way out and the
+	// next start resumes them.
 	DrainTimeout time.Duration
+	// JobDir, when nonempty, stores async jobs durably in this
+	// directory (fairrankd's -job-dir flag): NewServer opens the
+	// WAL-backed store, replays it, and re-enqueues whatever an earlier
+	// process left unfinished. Empty keeps jobs in memory. Mutually
+	// exclusive with Config.JobStore (which wins if both are set).
+	JobDir string
 }
 
 // Server is the canonical fairrankd serving loop — flags → Config →
@@ -34,24 +45,34 @@ type ServerConfig struct {
 // fleet harness's backend-kill switch). Err delivers the serve loop's
 // terminal error.
 type Server struct {
-	cfg  ServerConfig
-	svc  *Service
-	http *http.Server
-	ln   net.Listener
-	errc chan error
+	cfg       ServerConfig
+	svc       *Service
+	http      *http.Server
+	ln        net.Listener
+	errc      chan error
+	recovered int
 }
 
-// NewServer builds a Server around a fresh Service. Nothing listens
-// until Start.
-func NewServer(cfg ServerConfig) *Server {
+// NewServer builds a Server around a fresh Service. When JobDir is set
+// it opens (replaying) the durable job store and re-enqueues every
+// unfinished job before returning — resumed work starts draining as
+// soon as Start serves. Nothing listens until Start.
+func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8080"
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if cfg.JobStore == nil && cfg.JobDir != "" {
+		store, err := jobstore.OpenDisk(cfg.JobDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.JobStore = store
+	}
 	svc := New(cfg.Config)
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		svc: svc,
 		http: &http.Server{
@@ -63,7 +84,15 @@ func NewServer(cfg ServerConfig) *Server {
 		},
 		errc: make(chan error, 1),
 	}
+	if cfg.JobStore != nil {
+		s.recovered = svc.ResumeJobs()
+	}
+	return s, nil
 }
+
+// Recovered reports how many unfinished jobs NewServer re-enqueued
+// from the durable store.
+func (s *Server) Recovered() int { return s.recovered }
 
 // Service exposes the underlying Service (metrics, drain state) to
 // embedders like the soak harness.

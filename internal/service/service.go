@@ -26,12 +26,14 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	fairrank "repro"
+	"repro/internal/jobstore"
 )
 
 // ErrInvalid tags failures caused by the request rather than the
@@ -72,9 +74,30 @@ type Config struct {
 	// ErrSaturated. Default 64.
 	MaxJobs int
 	// JobTTL evicts finished (done or cancelled) jobs this long after
-	// completion; eviction is lazy, on the next job-store access.
+	// completion; a background sweeper (see SweepEvery) enforces it, so
+	// TTL bounds a finished job's lifetime even on an idle server.
 	// Default 10m.
 	JobTTL time.Duration
+	// SweepEvery is the cadence of the background TTL sweeper. Default
+	// 30s, capped at JobTTL so a short test TTL implies a sweeper that
+	// can actually observe it.
+	SweepEvery time.Duration
+	// JobStore persists async jobs. Nil means a fresh in-memory store
+	// (jobs die with the process); hand it a jobstore disk store —
+	// fairrankd's -job-dir flag — and jobs survive restarts, with
+	// ResumeJobs re-enqueuing whatever a crash interrupted. The Service
+	// takes ownership: Close closes the store.
+	JobStore jobstore.Store
+	// WebhookTimeout bounds each completion-event delivery attempt.
+	// Default 5s.
+	WebhookTimeout time.Duration
+	// WebhookBackoff is the delay before the first webhook retry; it
+	// doubles per attempt. Default 250ms.
+	WebhookBackoff time.Duration
+	// WebhookAttempts bounds delivery attempts per process run; an
+	// exhausted budget leaves the event durably unsent, so a restart
+	// tries again (at-least-once). Default 5.
+	WebhookAttempts int
 	// AccessLog, when non-nil, receives one structured line per HTTP
 	// request from the transport middleware. Nil disables access
 	// logging (the default — tests and embedded uses stay quiet).
@@ -103,6 +126,21 @@ func (c Config) withDefaults() Config {
 	if c.JobTTL <= 0 {
 		c.JobTTL = 10 * time.Minute
 	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 30 * time.Second
+	}
+	if c.SweepEvery > c.JobTTL {
+		c.SweepEvery = c.JobTTL
+	}
+	if c.WebhookTimeout <= 0 {
+		c.WebhookTimeout = 5 * time.Second
+	}
+	if c.WebhookBackoff <= 0 {
+		c.WebhookBackoff = 250 * time.Millisecond
+	}
+	if c.WebhookAttempts <= 0 {
+		c.WebhookAttempts = 5
+	}
 	return c
 }
 
@@ -128,9 +166,9 @@ type rankerKey struct {
 // Service ranks requests. Construct with New; safe for concurrent use.
 type Service struct {
 	cfg   Config
-	queue *queue // admission/scheduling layer over the worker pool
-	jobs  *jobStore
-	stats *metrics // per-route transport counters, shared with the handler
+	queue *queue         // admission/scheduling layer over the worker pool
+	store jobstore.Store // job records (Config.JobStore or a fresh Mem)
+	stats *metrics       // per-route transport counters, shared with the handler
 
 	draining atomic.Bool // readiness withdrawn; no new work admitted
 
@@ -144,6 +182,22 @@ type Service struct {
 	// never race jobsWG.Wait.
 	drainMu sync.Mutex
 	jobsWG  sync.WaitGroup // one per live job supervisor
+	bgWG    sync.WaitGroup // background work: TTL sweeper, webhook deliveries
+
+	// running maps live job IDs to their supervisor's cancel handle —
+	// the job layer's process-local view, distinct from the store's
+	// persisted records.
+	runningMu sync.Mutex
+	running   map[string]context.CancelFunc
+
+	itemsDone atomic.Int64 // job items completed, this process
+	recovered atomic.Int64 // jobs re-enqueued by ResumeJobs
+
+	webhookClient    *http.Client
+	webhookAttempts  atomic.Int64
+	webhookDelivered atomic.Int64
+	webhookRetries   atomic.Int64
+	webhookExhausted atomic.Int64
 
 	mu      sync.Mutex
 	rankers map[rankerKey]*fairrank.Ranker
@@ -152,16 +206,25 @@ type Service struct {
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
-		cfg:        cfg,
-		queue:      newQueue(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
-		jobs:       newJobStore(cfg.MaxJobs, cfg.JobTTL),
-		stats:      newMetrics(),
-		jobsCtx:    ctx,
-		jobsCancel: cancel,
-		rankers:    make(map[rankerKey]*fairrank.Ranker),
+	store := cfg.JobStore
+	if store == nil {
+		store = jobstore.NewMem()
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:           cfg,
+		queue:         newQueue(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
+		store:         store,
+		stats:         newMetrics(),
+		jobsCtx:       ctx,
+		jobsCancel:    cancel,
+		running:       make(map[string]context.CancelFunc),
+		webhookClient: &http.Client{Timeout: cfg.WebhookTimeout},
+		rankers:       make(map[rankerKey]*fairrank.Ranker),
+	}
+	s.bgWG.Add(1)
+	go s.sweepLoop()
+	return s
 }
 
 // BeginDrain withdraws readiness: /readyz turns 503 and new job
@@ -195,12 +258,17 @@ func (s *Service) DrainJobs(ctx context.Context) error {
 	}
 }
 
-// Close cancels every still-running job and waits for their supervisors
-// to exit. The Service must not be used afterwards.
+// Close cancels every still-running job, waits for their supervisors
+// and the background workers to exit, and closes the job store. On a
+// durable store the cancelled supervisors hand their jobs back as
+// pending first, so a later process resumes them with their progress
+// intact. The Service must not be used afterwards.
 func (s *Service) Close() {
 	s.BeginDrain()
 	s.jobsCancel()
 	s.jobsWG.Wait()
+	s.bgWG.Wait()
+	s.store.Close()
 }
 
 // Rank serves one ranking request through the admission queue. The
@@ -244,7 +312,7 @@ func (s *Service) RankBatch(ctx context.Context, batch *BatchRequest) (*BatchRes
 		return nil, err
 	}
 	s.queue.ReleaseSlots(1)
-	items := s.runBatch(ctx, batch.Requests, nil)
+	items := s.runBatch(ctx, batch.Requests, nil, nil)
 	// A cancelled batch is a transport-level failure of the whole call,
 	// not N independent entry failures: report it as such so the HTTP
 	// layer maps it to 499 rather than 200-with-error-items.
@@ -270,17 +338,26 @@ func (s *Service) validateBatch(batch *BatchRequest) error {
 // execution slot, so total sampling concurrency never exceeds the
 // pool). Entries of an admitted batch wait for slots without a budget:
 // admission control already happened at the batch boundary, so entries
-// can never be dropped mid-batch by saturation. onItem, when non-nil,
-// observes each completed entry (the async job layer's progress hook).
+// can never be dropped mid-batch by saturation. idxs, when non-nil,
+// restricts the run to those entry indices — the resume path's "only
+// the missing draws re-run" subset; the skipped slots stay zero.
+// onItem, when non-nil, observes each completed entry (the async job
+// layer's progress hook).
 //
 // One entry ranks identically here, as a single request, and as a job
 // item: DoParallel results are worker-invariant and every path resolves
 // the same per-request seed.
-func (s *Service) runBatch(ctx context.Context, reqs []RankRequest, onItem func(i int, item BatchItem)) []BatchItem {
+func (s *Service) runBatch(ctx context.Context, reqs []RankRequest, idxs []int, onItem func(i int, item BatchItem)) []BatchItem {
+	if idxs == nil {
+		idxs = make([]int, len(reqs))
+		for i := range reqs {
+			idxs[i] = i
+		}
+	}
 	items := make([]BatchItem, len(reqs))
 	fan := s.cfg.Workers
-	if fan > len(reqs) {
-		fan = len(reqs)
+	if fan > len(idxs) {
+		fan = len(idxs)
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -312,7 +389,7 @@ func (s *Service) runBatch(ctx context.Context, reqs []RankRequest, onItem func(
 			}
 		}()
 	}
-	for i := range reqs {
+	for _, i := range idxs {
 		next <- i
 	}
 	close(next)

@@ -1,5 +1,7 @@
 package service
 
+import "time"
+
 // Candidate is the wire form of one item to rank.
 type Candidate struct {
 	// ID identifies the candidate; must be unique and nonempty.
@@ -122,6 +124,13 @@ type Diagnostics struct {
 // BatchRequest bundles independent ranking requests to run concurrently.
 type BatchRequest struct {
 	Requests []RankRequest `json:"requests"`
+	// WebhookURL, on POST /v1/jobs/rank only, subscribes to the job's
+	// completion event: once the job finishes, the service POSTs a
+	// JobEvent to this absolute http(s) URL, retrying with exponential
+	// backoff until it lands (at-least-once, surviving restarts).
+	// Ignored by the synchronous batch endpoint, which already delivers
+	// its results in the response.
+	WebhookURL string `json:"webhook_url,omitempty"`
 }
 
 // BatchItem is the outcome of one batch entry: exactly one of Response
@@ -163,6 +172,49 @@ type JobStatusResponse struct {
 	// job reaches "done"; omitted in every other state. Cancelled jobs
 	// never serve items.
 	Items []BatchItem `json:"items,omitempty"`
+}
+
+// JobListResponse answers GET /v1/jobs: one page of the job listing,
+// oldest job first, with the cursor of the next page.
+type JobListResponse struct {
+	Jobs []JobSummary `json:"jobs"`
+	// NextCursor, when nonempty, resumes the listing: pass it as the
+	// `after` query parameter of the next request. An empty cursor means
+	// the listing is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// JobSummary is one job in the listing: everything JobStatusResponse
+// reports except the per-item results (fetch those from StatusURL).
+type JobSummary struct {
+	ID string `json:"id"`
+	// State is "pending", "running", "done", or "cancelled".
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// Created and Finished bracket the job's life; Finished is omitted
+	// until the job reaches a terminal state.
+	Created   time.Time `json:"created"`
+	Finished  time.Time `json:"finished,omitzero"`
+	StatusURL string    `json:"status_url"`
+	// WebhookURL echoes the completion-event subscription, when one was
+	// registered; WebhookSent reports whether it has been delivered.
+	WebhookURL  string `json:"webhook_url,omitempty"`
+	WebhookSent bool   `json:"webhook_sent,omitempty"`
+}
+
+// JobEvent is the completion-event payload POSTed to a job's
+// webhook_url when the job reaches a terminal state. It deliberately
+// excludes the per-item results — events stay small and at-least-once
+// delivery stays cheap; receivers fetch the items from StatusURL.
+type JobEvent struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	StatusURL string `json:"status_url"`
 }
 
 // ReadyzResponse answers GET /readyz: the readiness verdict plus a
@@ -252,12 +304,30 @@ type JobMetrics struct {
 	Running   int `json:"running"`
 	Done      int `json:"done"`
 	Cancelled int `json:"cancelled"`
-	// Submitted counts jobs ever accepted; Evicted those dropped by the
-	// TTL sweep; ItemsDone individual batch entries completed across
-	// all jobs.
+	// Submitted counts jobs ever accepted (as far as the store can still
+	// tell after a restart); Evicted those dropped by the TTL sweep
+	// since the store opened; ItemsDone individual batch entries
+	// completed by this process; Recovered jobs re-enqueued from a
+	// durable store at startup (ResumeJobs).
 	Submitted int64 `json:"submitted"`
 	Evicted   int64 `json:"evicted"`
 	ItemsDone int64 `json:"items_done"`
+	Recovered int64 `json:"recovered"`
+	// Webhooks reports completion-event delivery, this process.
+	Webhooks WebhookMetrics `json:"webhooks"`
+}
+
+// WebhookMetrics counts completion-event delivery work: Attempts is
+// every POST made, Delivered the subset acknowledged with a 2xx,
+// Retries the attempts beyond each event's first, and Exhausted the
+// events that ran out of per-process attempts (they stay durably
+// unsent, so a restart retries them — delivery is at-least-once, so
+// Delivered can overcount distinct events, never undercount them).
+type WebhookMetrics struct {
+	Attempts  int64 `json:"attempts"`
+	Delivered int64 `json:"delivered"`
+	Retries   int64 `json:"retries"`
+	Exhausted int64 `json:"exhausted"`
 }
 
 // EngineMetrics aggregates fairrank.RankerStats over the cached
