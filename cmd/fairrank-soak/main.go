@@ -56,6 +56,16 @@
 //
 //	fairrank-soak -fleet 3 -kill-backend -corpus smoke -requests 300 -out BENCH_pr.json
 //
+// -noise-sweep replaces load testing entirely: the conformance
+// degradation sweep (internal/conformance.RunNoiseSweep) runs
+// in-process over the loaded corpus, measuring every registry
+// algorithm's fairness and quality as attribute noise rises, and its
+// curves are appended as "noise-curve" lines plus one "noise-summary"
+// line. Any violation — including a noiseless anchor that is not
+// bit-identical to the uncorrupted base sweep — fails the run:
+//
+//	fairrank-soak -noise-sweep -corpus noise -noise-draws 40 -out BENCH_pr.json
+//
 // Output is appended to -out as one JSON object per line with
 // "Action": "soak" (one line per endpoint) and "Action": "soak-summary"
 // (one line per run), so the lines coexist with a `go test -json`
@@ -108,6 +118,8 @@ func main() {
 	cancelFrac := flag.Float64("cancel", 0, "fraction of requests cancelled client-side mid-flight (injection)")
 	cancelAfter := flag.Duration("cancel-after", 2*time.Millisecond, "cancellation delay for injected cancels")
 	maxN := flag.Int("max-n", 0, "skip corpus specs with more than this many candidates (0 = no cap)")
+	noiseSweep := flag.Bool("noise-sweep", false, "run the conformance degradation sweep in-process instead of load-testing: per-algorithm fairness/quality curves over the attribute-noise grid, appended as \"noise-curve\" lines (pair with -corpus noise)")
+	noiseDraws := flag.Int("noise-draws", 60, "rankings sampled per sweep point in -noise-sweep mode")
 	seed := flag.Int64("seed", 1, "base seed; request i carries seed+i")
 	out := flag.String("out", "-", `append JSON lines here ("-" for stdout)`)
 	flag.Parse()
@@ -127,6 +139,25 @@ func main() {
 	}
 	if len(specs) == 0 {
 		log.Fatalf("corpus %q has no usable specs", *corpus)
+	}
+	if *noiseSweep {
+		if *noiseDraws < 1 {
+			log.Fatalf("-noise-draws = %d, want ≥ 1", *noiseDraws)
+		}
+		w := io.Writer(os.Stdout)
+		if *out != "-" {
+			f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := runNoiseSweepMode(w, specs, *corpus, *noiseDraws, *seed); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("noise sweep held: every curve's noiseless anchor is bit-identical to the uncorrupted base sweep")
+		return
 	}
 	if *concurrency < 1 || *requests < 1 || *batchSize < 1 {
 		log.Fatalf("-concurrency, -requests, and -batch-size must be ≥ 1")

@@ -27,6 +27,15 @@ type Candidate struct {
 	// Attrs carries additional attribute values for evaluation, e.g.
 	// attributes withheld from the ranking algorithms (see PPfairByAttr).
 	Attrs map[string]string
+	// Membership optionally states a probability distribution over group
+	// names — the probabilistic protected attribute of Mehrotra & Vishnoi.
+	// Keys extend the group universe; values must be finite, lie in
+	// [0, 1], and sum to 1 (±1e-9); they are never renormalized. Groups
+	// named by Group but absent from the map hold mass 0. A candidate
+	// without Membership is treated as one-hot at its Group. Ranking
+	// algorithms consume the hard Group; Membership feeds the expected
+	// (probabilistic) fairness diagnostics.
+	Membership map[string]float64
 }
 
 // Algorithm selects the post-processing method by its registered name.
@@ -61,6 +70,10 @@ const (
 	// under the criterion — the paper's §VI beyond-Mallows direction as
 	// a first-class algorithm.
 	AlgorithmPlackettLuce Algorithm = "pl-best"
+	// AlgorithmExPostFair samples a ranking whose every prefix satisfies
+	// the (α,β) bounds — fairness holds ex post on each draw, not just in
+	// expectation (Gorantla, Deshpande & Louis, IJCAI'23).
+	AlgorithmExPostFair Algorithm = "expost-fair"
 )
 
 // DefaultAlgorithm is what an empty Config.Algorithm resolves to.
@@ -265,6 +278,27 @@ func buildInstance(candidates []Candidate, cfg Config) (rankers.Instance, error)
 			groupIDs[c.Group] = 0
 			groupNames = append(groupNames, c.Group)
 		}
+		if c.Membership != nil {
+			var sum float64
+			for name, p := range c.Membership {
+				if name == "" {
+					return rankers.Instance{}, fmt.Errorf("fairrank: candidate %q membership names an empty group", c.ID)
+				}
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					return rankers.Instance{}, fmt.Errorf("fairrank: candidate %q membership for group %q is %v, want in [0,1]", c.ID, name, p)
+				}
+				sum += p
+				if _, ok := groupIDs[name]; !ok {
+					groupIDs[name] = 0
+					groupNames = append(groupNames, name)
+				}
+			}
+			// Probabilities are taken as stated, never renormalized: a
+			// wrong sum is a caller bug, not a scaling choice.
+			if math.Abs(sum-1) > 1e-9 {
+				return rankers.Instance{}, fmt.Errorf("fairrank: candidate %q membership sums to %v, want 1", c.ID, sum)
+			}
+		}
 	}
 	sort.Strings(groupNames)
 	for i, name := range groupNames {
@@ -279,6 +313,32 @@ func buildInstance(candidates []Candidate, cfg Config) (rankers.Instance, error)
 	gr, err := fairness.NewGroups(assign, len(groupNames))
 	if err != nil {
 		return rankers.Instance{}, err
+	}
+	// Lift hard labels plus any stated memberships into a distribution
+	// per item. Nil unless some candidate carries a Membership: the
+	// probabilistic diagnostics are opt-in, and requests without the
+	// field keep their exact historical outputs.
+	var prob *fairness.ProbGroups
+	for _, c := range candidates {
+		if c.Membership != nil {
+			dist := make([][]float64, len(candidates))
+			for i, c := range candidates {
+				row := make([]float64, len(groupNames))
+				if c.Membership == nil {
+					row[groupIDs[c.Group]] = 1
+				} else {
+					for name, p := range c.Membership {
+						row[groupIDs[name]] = p
+					}
+				}
+				dist[i] = row
+			}
+			prob, err = fairness.NewProbGroups(dist, len(groupNames))
+			if err != nil {
+				return rankers.Instance{}, fmt.Errorf("fairrank: building membership distribution: %w", err)
+			}
+			break
+		}
 	}
 	cons, err := fairness.Proportional(gr, cfg.Tolerance)
 	if err != nil {
@@ -303,6 +363,7 @@ func buildInstance(candidates []Candidate, cfg Config) (rankers.Instance, error)
 		Scores:  scores,
 		Groups:  gr,
 		Bounds:  cons.Table(len(candidates)),
+		Prob:    prob,
 	}, nil
 }
 
@@ -367,6 +428,65 @@ func PPfairTopK(ranked []Candidate, k int, tol float64) (float64, error) {
 		return 0, err
 	}
 	return fairness.PPfairAt(perm.Identity(len(ranked)), gr, cons, k)
+}
+
+// ExpectedPPfairTopK is PPfairTopK under probabilistic group
+// membership: each candidate's Membership distribution (one-hot at its
+// hard Group when absent) replaces the hard label, the proportional
+// constraints target expected group shares, and prefix counts are
+// expected counts. On a pool whose memberships are all exactly one-hot
+// the result is bit-identical to PPfairTopK — the library-level face of
+// the fairness layer's one-hot equivalence guarantee.
+func ExpectedPPfairTopK(ranked []Candidate, k int, tol float64) (float64, error) {
+	if len(ranked) == 0 {
+		return 0, fmt.Errorf("fairrank: empty ranking")
+	}
+	seen := map[string]bool{}
+	var names []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for i, c := range ranked {
+		if c.Group == "" {
+			return 0, fmt.Errorf("fairrank: candidate %d has empty group", i)
+		}
+		add(c.Group)
+		for name := range c.Membership {
+			if name == "" {
+				return 0, fmt.Errorf("fairrank: candidate %q membership names an empty group", c.ID)
+			}
+			add(name)
+		}
+	}
+	sort.Strings(names)
+	ids := make(map[string]int, len(names))
+	for i, n := range names {
+		ids[n] = i
+	}
+	dist := make([][]float64, len(ranked))
+	for i, c := range ranked {
+		row := make([]float64, len(names))
+		if c.Membership == nil {
+			row[ids[c.Group]] = 1
+		} else {
+			for name, p := range c.Membership {
+				row[ids[name]] = p
+			}
+		}
+		dist[i] = row
+	}
+	pg, err := fairness.NewProbGroups(dist, len(names))
+	if err != nil {
+		return 0, err
+	}
+	cons, err := fairness.ProportionalProb(pg, tol)
+	if err != nil {
+		return 0, err
+	}
+	return fairness.ExpectedPPfairAt(perm.Identity(len(ranked)), pg, cons, k)
 }
 
 // PPfairByAttr is PPfair evaluated against an attribute from

@@ -1,0 +1,174 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	fairrank "repro"
+	"repro/internal/scenario"
+)
+
+// noiseSweepDraws keeps the degradation sweep cheap: curves report
+// means, not confidence intervals, so far fewer draws than the floor
+// checks need still give stable curve shapes.
+func noiseSweepDraws(t *testing.T) int {
+	d := testDraws(t) / 3
+	if d < 20 {
+		d = 20
+	}
+	return d
+}
+
+// TestNoiseSweepBuiltins is the degradation-sweep acceptance gate:
+// every registry algorithm gets a curve on every applicable "noise"
+// scenario, every curve covers the full ≥3-point level grid, and the
+// noiseless anchor is bit-identical to the uncorrupted base sweep — on
+// the anchor point the three fairness readings must agree exactly (the
+// one-hot equivalence guarantee, end to end through the noise channel).
+func TestNoiseSweepBuiltins(t *testing.T) {
+	rep, err := RunNoiseSweep(context.Background(), Config{Draws: noiseSweepDraws(t)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Failed() {
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err == nil {
+			t.Logf("full report:\n%s", buf.String())
+		}
+	}
+	if len(rep.Levels) < 3 {
+		t.Fatalf("default grid has %d levels, want ≥ 3", len(rep.Levels))
+	}
+
+	// Coverage: every non-test registry algorithm must appear, with a
+	// curve per scenario its group bounds admit.
+	specs, err := scenario.Corpus("noise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCurves := map[string]bool{}
+	for _, a := range fairrank.Algorithms() {
+		if strings.HasPrefix(a.Name, testPrefix) {
+			continue
+		}
+		covered := false
+		for _, spec := range specs {
+			if skipScenario(a, spec) {
+				continue
+			}
+			covered = true
+			wantCurves[a.Name+"|"+spec.Name] = true
+		}
+		if !covered {
+			t.Errorf("algorithm %q is skipped on every noise scenario — the corpus no longer covers its group bounds", a.Name)
+		}
+	}
+	gotCurves := map[string]bool{}
+	for _, c := range rep.Curves {
+		gotCurves[c.Algorithm+"|"+c.Scenario] = true
+	}
+	for key := range wantCurves {
+		if !gotCurves[key] {
+			t.Errorf("curve %s missing from the sweep", key)
+		}
+	}
+	for key := range gotCurves {
+		if !wantCurves[key] {
+			t.Errorf("unexpected curve %s", key)
+		}
+	}
+
+	for _, c := range rep.Curves {
+		if len(c.Points) != len(rep.Levels) {
+			t.Errorf("curve %s×%s has %d points, want %d", c.Algorithm, c.Scenario, len(c.Points), len(rep.Levels))
+			continue
+		}
+		if !c.ZeroNoiseIdentical {
+			t.Errorf("curve %s×%s: noiseless level not bit-identical to the base sweep", c.Algorithm, c.Scenario)
+		}
+		for i, pt := range c.Points {
+			if pt.Flip != rep.Levels[i].Flip || pt.Missing != rep.Levels[i].Missing {
+				t.Errorf("curve %s×%s point %d is (%v, %v), want grid level (%v, %v)",
+					c.Algorithm, c.Scenario, i, pt.Flip, pt.Missing, rep.Levels[i].Flip, rep.Levels[i].Missing)
+			}
+		}
+		// The anchor point: zero noise leaves labels untouched and its
+		// posteriors exactly one-hot, so all three audits must agree bit
+		// for bit — not approximately.
+		anchor := c.Points[0]
+		if !rep.Levels[0].IsZero() {
+			t.Fatal("default grid does not start with the noiseless anchor")
+		}
+		if anchor.MeanPPfairObserved != anchor.MeanPPfairTrue {
+			t.Errorf("curve %s×%s anchor: observed %v != true %v", c.Algorithm, c.Scenario,
+				anchor.MeanPPfairObserved, anchor.MeanPPfairTrue)
+		}
+		if anchor.MeanPPfairObserved != anchor.MeanExpectedPPfair {
+			t.Errorf("curve %s×%s anchor: observed %v != expected %v", c.Algorithm, c.Scenario,
+				anchor.MeanPPfairObserved, anchor.MeanExpectedPPfair)
+		}
+	}
+}
+
+// TestNoiseSweepReportJSON pins the report's wire shape: the fields CI
+// greps for must survive a JSON round trip under their documented
+// names.
+func TestNoiseSweepReportJSON(t *testing.T) {
+	score, ok := fairrank.LookupAlgorithm(string(fairrank.AlgorithmScoreSorted))
+	if !ok {
+		t.Fatal("score algorithm missing from the registry")
+	}
+	rep, err := RunNoiseSweep(context.Background(), Config{
+		Draws:      10,
+		Algorithms: []fairrank.AlgorithmInfo{score},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"draws", "audit_top_k", "seed", "levels", "curves", "violations"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON lacks %q", key)
+		}
+	}
+	raw := buf.String()
+	for _, key := range []string{"mean_ppfair_observed", "mean_ppfair_true", "mean_expected_ppfair",
+		"mean_ndcg", "zero_noise_identical", `"flip"`, `"missing"`} {
+		if !strings.Contains(raw, key) {
+			t.Errorf("report JSON lacks %s", key)
+		}
+	}
+	if strings.Contains(raw, "zero_noise_identical\": false") {
+		t.Error("deterministic score sweep lost zero-noise identity")
+	}
+	if got := rep.Summary(); !strings.Contains(got, "noise sweep:") {
+		t.Errorf("summary %q lacks the noise sweep prefix", got)
+	}
+}
+
+// TestNoiseSweepSetupErrors: bad grids are setup errors, not
+// violations — a sweep without a noiseless anchor proves nothing.
+func TestNoiseSweepSetupErrors(t *testing.T) {
+	if _, err := RunNoiseSweep(context.Background(), Config{}, []scenario.NoiseSpec{{Flip: 0.1}}); err == nil {
+		t.Error("grid without a noiseless anchor accepted")
+	}
+	if _, err := RunNoiseSweep(context.Background(), Config{}, []scenario.NoiseSpec{{Flip: 1.5}}); err == nil {
+		t.Error("invalid flip rate accepted")
+	}
+	if _, err := RunNoiseSweep(context.Background(), Config{Algorithms: []fairrank.AlgorithmInfo{}}, nil); err == nil {
+		t.Error("empty algorithm list accepted")
+	}
+}

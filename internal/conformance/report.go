@@ -46,6 +46,12 @@ const (
 	// algorithm's noise mechanism is not uniform — the mean Kendall tau
 	// to the central strays from n(n−1)/4 beyond sampling error.
 	CheckUniformLimit Check = "uniform-limit"
+	// CheckZeroNoiseIdentity: the degradation sweep's noiseless anchor
+	// level produced a ranking sequence that is not bit-identical to the
+	// uncorrupted base sweep — the zero-noise channel (or the engine's
+	// handling of one-hot memberships) perturbs results it must not
+	// touch. See RunNoiseSweep.
+	CheckZeroNoiseIdentity Check = "zero-noise-identity"
 )
 
 // Violation is one failed check, self-describing enough to act on: the

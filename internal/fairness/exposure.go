@@ -20,6 +20,29 @@ type ExposureDiscount func(rank int) float64
 // discount DCG uses).
 func LogExposure(rank int) float64 { return 1 / math.Log2(float64(1+rank)) }
 
+// ExposureBaseline selects the reference shares an exposure metric
+// compares against. The distinction only matters for prefix rankings
+// (len(p) < NumItems): the two baselines coincide on full rankings.
+type ExposureBaseline int
+
+const (
+	// BaselinePrefix compares each group's exposure share against its
+	// share of the ranked items themselves, so the metric isolates
+	// position bias: how attention is distributed among the items that
+	// were actually ranked. This is the default for DisparateExposure
+	// and ExposureGap — historically they compared prefix exposure
+	// against full-pool shares, scoring a top-k ranking against a
+	// baseline it could not reach even with perfect within-prefix
+	// proportionality.
+	BaselinePrefix ExposureBaseline = iota
+	// BaselinePool compares against each group's share of the whole
+	// ground set, conflating selection bias (who made the prefix) with
+	// position bias (who sits where). Legitimate when that conflation
+	// is the point — e.g. auditing a shortlist against the applicant
+	// pool — so it stays available explicitly.
+	BaselinePool
+)
+
 // GroupExposure returns each group's share of the total attention of
 // the ranking under the discount (entries sum to 1 for non-empty
 // rankings). A nil discount means LogExposure.
@@ -48,18 +71,33 @@ func GroupExposure(p perm.Perm, gr *Groups, disc ExposureDiscount) ([]float64, e
 	return exposure, nil
 }
 
-// DisparateExposure returns the minimum over groups of
-// (exposure share)/(population share) — 1 means every group receives
-// attention exactly proportional to its size, smaller values mean the
-// worst-off group is under-exposed by that factor. Groups with no
-// members are skipped; if every group is empty the ratio is defined
-// as 1.
-func DisparateExposure(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64, error) {
-	exposure, err := GroupExposure(p, gr, disc)
-	if err != nil {
-		return 0, err
+// baselineShares returns the reference shares of the chosen baseline:
+// the whole ground set's composition, or the composition of the ranked
+// items themselves.
+func baselineShares(p perm.Perm, gr *Groups, baseline ExposureBaseline) ([]float64, error) {
+	switch baseline {
+	case BaselinePool:
+		return gr.Shares(), nil
+	case BaselinePrefix:
+		shares := make([]float64, gr.NumGroups())
+		if len(p) == 0 {
+			return shares, nil
+		}
+		for _, item := range p {
+			shares[gr.Of(item)]++
+		}
+		for g := range shares {
+			shares[g] /= float64(len(p))
+		}
+		return shares, nil
+	default:
+		return nil, fmt.Errorf("fairness: unknown exposure baseline %d", baseline)
 	}
-	shares := gr.Shares()
+}
+
+// worstExposureRatio returns the minimum exposure/share ratio over
+// groups with positive baseline share; 1 when every group is skipped.
+func worstExposureRatio(exposure, shares []float64) float64 {
 	worst := math.Inf(1)
 	for g := range exposure {
 		if shares[g] == 0 {
@@ -71,25 +109,69 @@ func DisparateExposure(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64,
 		}
 	}
 	if math.IsInf(worst, 1) {
-		return 1, nil
+		return 1
 	}
-	return worst, nil
+	return worst
 }
 
-// ExposureGap returns the largest absolute difference between any
-// group's exposure share and its population share; 0 means perfectly
-// proportional attention.
-func ExposureGap(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64, error) {
-	exposure, err := GroupExposure(p, gr, disc)
-	if err != nil {
-		return 0, err
-	}
-	shares := gr.Shares()
+// largestExposureGap returns the largest |exposure − share| over groups.
+func largestExposureGap(exposure, shares []float64) float64 {
 	var gap float64
 	for g := range exposure {
 		if d := math.Abs(exposure[g] - shares[g]); d > gap {
 			gap = d
 		}
 	}
-	return gap, nil
+	return gap
+}
+
+// DisparateExposureAgainst returns the minimum over groups of
+// (exposure share)/(baseline share) — 1 means every group receives
+// attention exactly proportional to its baseline share, smaller values
+// mean the worst-off group is under-exposed by that factor. Groups with
+// zero baseline share are skipped; if every group is skipped the ratio
+// is defined as 1.
+func DisparateExposureAgainst(p perm.Perm, gr *Groups, disc ExposureDiscount, baseline ExposureBaseline) (float64, error) {
+	exposure, err := GroupExposure(p, gr, disc)
+	if err != nil {
+		return 0, err
+	}
+	shares, err := baselineShares(p, gr, baseline)
+	if err != nil {
+		return 0, err
+	}
+	return worstExposureRatio(exposure, shares), nil
+}
+
+// DisparateExposure is DisparateExposureAgainst with the
+// prefix-consistent baseline: attention is judged against the group
+// composition of the ranked items. For full rankings this equals the
+// historical pool-share behavior exactly; for prefix rankings the old
+// full-pool normalization was a bug (the prefix was scored against
+// shares it could not attain) — pass BaselinePool explicitly to keep
+// the selection-inclusive reading.
+func DisparateExposure(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64, error) {
+	return DisparateExposureAgainst(p, gr, disc, BaselinePrefix)
+}
+
+// ExposureGapAgainst returns the largest absolute difference between
+// any group's exposure share and its baseline share; 0 means perfectly
+// proportional attention under that baseline.
+func ExposureGapAgainst(p perm.Perm, gr *Groups, disc ExposureDiscount, baseline ExposureBaseline) (float64, error) {
+	exposure, err := GroupExposure(p, gr, disc)
+	if err != nil {
+		return 0, err
+	}
+	shares, err := baselineShares(p, gr, baseline)
+	if err != nil {
+		return 0, err
+	}
+	return largestExposureGap(exposure, shares), nil
+}
+
+// ExposureGap is ExposureGapAgainst with the prefix-consistent
+// baseline; see DisparateExposure for why the default moved off the
+// full-pool shares.
+func ExposureGap(p perm.Perm, gr *Groups, disc ExposureDiscount) (float64, error) {
+	return ExposureGapAgainst(p, gr, disc, BaselinePrefix)
 }

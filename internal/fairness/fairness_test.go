@@ -59,6 +59,18 @@ func TestGroupsSubset(t *testing.T) {
 	}
 }
 
+func TestGroupsSubsetRejectsDuplicates(t *testing.T) {
+	gr := MustGroups([]int{0, 1, 0, 1}, 2)
+	_, err := gr.Subset([]int{1, 2, 1})
+	if err == nil {
+		t.Fatal("Subset accepted a duplicate item index — its group mass would be double-counted downstream")
+	}
+	want := "fairness: subset repeats item 1"
+	if err.Error() != want {
+		t.Fatalf("Subset duplicate error = %q, want %q", err, want)
+	}
+}
+
 func TestNewConstraintsValidation(t *testing.T) {
 	if _, err := NewConstraints([]float64{0.3, 0.2}, []float64{0.6, 0.9}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,146 @@
+package rankers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fairness"
+	"repro/internal/perm"
+)
+
+func TestExPostFairEveryDrawIsFair(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 40; trial++ {
+		d := 4 + rng.Intn(30)
+		g := 2 + rng.Intn(3)
+		if g > d {
+			g = d
+		}
+		in := randomFeasibleInstance(t, rng, d, g)
+		cons, err := fairness.Proportional(in.Groups, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Bounds = cons.Table(d)
+		for draw := 0; draw < 5; draw++ {
+			p, err := ExPostFair{}.Rank(in, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := fairness.EvaluateViolations(p, in.Groups, in.Bounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.TwoSided() != 0 {
+				t.Fatalf("draw violates %d prefixes of a feasible table", v.TwoSided())
+			}
+		}
+	}
+}
+
+func TestExPostFairWithinGroupScoreOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	in := randomFeasibleInstance(t, rng, 24, 3)
+	p, err := ExPostFair{}.Rank(in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All randomness is in the group sequence: within a group, items must
+	// appear in non-increasing score order.
+	last := make(map[int]float64)
+	for _, item := range p {
+		gid := in.Groups.Of(item)
+		if prev, ok := last[gid]; ok && in.Scores[item] > prev {
+			t.Fatalf("group %d ranked score %v after %v", gid, in.Scores[item], prev)
+		}
+		last[gid] = in.Scores[item]
+	}
+}
+
+func TestExPostFairIsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	in := randomFeasibleInstance(t, rng, 30, 2)
+	// Loose bounds so many group sequences are legal.
+	cons, err := fairness.Proportional(in.Groups, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Bounds = cons.Table(30)
+	first, err := ExPostFair{}.Rank(in, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	for seed := int64(2); seed < 12; seed++ {
+		p, err := ExPostFair{}.Rank(in, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(first) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Error("ten differently-seeded draws all identical — sampler is not randomizing")
+	}
+	// Same seed must reproduce the same draw.
+	again, err := ExPostFair{}.Rank(in, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equal(first) {
+		t.Error("same seed produced a different draw")
+	}
+}
+
+func TestExPostFairDegradesOnInfeasibleTable(t *testing.T) {
+	// Two groups of two items, but the table demands 4 of group 0 by
+	// prefix 4 — unsatisfiable. The sampler must still emit a complete
+	// valid permutation.
+	in := makeInstance(t, []float64{4, 3, 2, 1}, []int{0, 0, 1, 1}, 2, 0.2)
+	bad := in.Bounds.Clone()
+	for ell := range bad.Lower {
+		bad.Lower[ell][0] = ell + 1
+		bad.Upper[ell][0] = ell + 1
+		bad.Upper[ell][1] = ell + 1
+	}
+	in.Bounds = bad
+	p, err := ExPostFair{}.Rank(in, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("got %d items, want 4", len(p))
+	}
+}
+
+func TestExPostFairNeedsRNG(t *testing.T) {
+	in := makeInstance(t, []float64{2, 1}, []int{0, 1}, 2, 0.2)
+	if _, err := (ExPostFair{}).Rank(in, nil); err == nil {
+		t.Error("accepted nil RNG")
+	}
+}
+
+func TestExPostFairEmpty(t *testing.T) {
+	cons, err := fairness.NewConstraints([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{
+		Initial: perm.Perm{},
+		Scores:  nil,
+		Groups:  fairness.MustGroups(nil, 1),
+		Bounds:  cons.Table(0),
+	}
+	p, err := ExPostFair{}.Rank(in, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 0 {
+		t.Fatalf("empty instance ranked %d items", len(p))
+	}
+}

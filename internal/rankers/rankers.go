@@ -32,6 +32,11 @@ type Instance struct {
 	Scores  quality.Scores
 	Groups  *fairness.Groups
 	Bounds  *fairness.Bounds
+	// Prob optionally refines Groups into a distribution over groups per
+	// item (probabilistic protected attribute). Rankers consume the hard
+	// Groups; Prob feeds the expected-fairness diagnostics downstream.
+	// When set it must cover the same items and groups as Groups.
+	Prob *fairness.ProbGroups
 }
 
 // Validate checks the cross-field invariants every ranker relies on.
@@ -57,6 +62,14 @@ func (in Instance) Validate() error {
 	}
 	if d > 0 && in.Bounds.NumGroups() != in.Groups.NumGroups() {
 		return fmt.Errorf("rankers: bounds cover %d groups, want %d", in.Bounds.NumGroups(), in.Groups.NumGroups())
+	}
+	if in.Prob != nil {
+		if in.Prob.NumItems() != d {
+			return fmt.Errorf("rankers: membership covers %d items, want %d", in.Prob.NumItems(), d)
+		}
+		if in.Prob.NumGroups() != in.Groups.NumGroups() {
+			return fmt.Errorf("rankers: membership covers %d groups, want %d", in.Prob.NumGroups(), in.Groups.NumGroups())
+		}
 	}
 	return nil
 }

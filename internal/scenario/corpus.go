@@ -19,6 +19,10 @@ import (
 //     ranking — the workload where the engine's truncated draw path
 //     carries the request; fairrank-soak's topk-weighted runs use it to
 //     exercise and reconcile the draw-path counters.
+//   - "noise": small pools for the attribute-noise degradation sweep
+//     (conformance RunNoiseSweep and fairrank-soak -noise-sweep) —
+//     each spec is corrupted at several NoiseSpec levels per run, so
+//     the pools stay small.
 var builtinCorpora = map[string][]Spec{
 	"conformance": {
 		{Name: "g2-balanced-uniform", N: 40, Groups: 2, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 101},
@@ -46,6 +50,11 @@ var builtinCorpora = map[string][]Spec{
 		{Name: "soak-1k-adversarial", N: 1000, Groups: 2, Proportions: []float64{0.85, 0.15}, Scores: ScoresHeavyTail, Ordering: OrderAdversarial, Seed: 403},
 		{Name: "soak-10k-tied", N: 10000, Groups: 4, Scores: ScoresTied, Ordering: OrderRandom, Seed: 404},
 		{Name: "soak-100k-uniform", N: 100000, Groups: 5, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 405},
+	},
+	"noise": {
+		{Name: "noise-g2-balanced", N: 40, Groups: 2, Scores: ScoresUniform, Ordering: OrderRandom, Seed: 601},
+		{Name: "noise-g2-skewed-adversarial", N: 40, Groups: 2, Proportions: []float64{0.75, 0.25}, Scores: ScoresGaussian, Ordering: OrderAdversarial, Seed: 602},
+		{Name: "noise-g3-heavytail", N: 48, Groups: 3, Scores: ScoresHeavyTail, Ordering: OrderRandom, Seed: 603},
 	},
 	"topk": {
 		{Name: "topk-1k-gaussian", N: 1000, Groups: 3, Proportions: []float64{0.6, 0.3, 0.1}, Scores: ScoresGaussian, Ordering: OrderRandom, Seed: 501},

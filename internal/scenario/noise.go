@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	fairrank "repro"
+)
+
+// Attribute noise: the paper's central premise is that the protected
+// attribute the ranker sees is not the truth — it is inferred, reported
+// with error, or withheld. NoiseSpec models the standard measurement
+// channel for a categorical attribute: a symmetric flip (the observed
+// label is wrong with rate Flip, uniformly among the other groups) and
+// missingness (the label is absent with rate Missing and must be
+// imputed). Apply corrupts a generated pool through that channel and
+// attaches the exact Bayesian posterior over true groups as each
+// candidate's Membership, so the probabilistic fairness metrics can be
+// evaluated against what is actually knowable after corruption.
+
+// NoiseSpec parameterizes one attribute-noise channel. The zero value
+// is the noiseless channel.
+type NoiseSpec struct {
+	// Flip is the symmetric label-flip rate: with probability Flip the
+	// observed group is drawn uniformly from the other groups. Must lie
+	// in [0, 1].
+	Flip float64 `json:"flip"`
+	// Missing is the missingness rate: with probability Missing the
+	// label is dropped and the observed group is imputed from the pool
+	// marginal. Must lie in [0, 1].
+	Missing float64 `json:"missing"`
+	// Seed seeds the channel; equal specs applied to equal pools
+	// corrupt identically.
+	Seed int64 `json:"seed"`
+}
+
+// Validate rejects channels Apply cannot honor.
+func (n NoiseSpec) Validate() error {
+	if !(n.Flip >= 0 && n.Flip <= 1) {
+		return fmt.Errorf("scenario: noise flip rate = %v, want in [0,1]", n.Flip)
+	}
+	if !(n.Missing >= 0 && n.Missing <= 1) {
+		return fmt.Errorf("scenario: noise missing rate = %v, want in [0,1]", n.Missing)
+	}
+	return nil
+}
+
+// IsZero reports whether the channel is noiseless.
+func (n NoiseSpec) IsZero() bool { return n.Flip == 0 && n.Missing == 0 }
+
+// Apply passes pool through the noise channel and returns the corrupted
+// copy; pool itself is never mutated. Each returned candidate carries
+// the possibly-corrupted hard Group plus a Membership distribution: the
+// posterior P(true group | observation) under the channel, with the
+// pool's empirical group marginal as the prior. A missing label's
+// posterior is exactly the prior (the observation carries no group
+// information); its hard Group is imputed from the marginal so
+// downstream hard-label algorithms still run.
+//
+// The channel is replayable: the RNG consumption per candidate is fixed
+// (three draws) regardless of outcome, so corruption of candidate i
+// does not depend on the fate of candidates 0..i−1 beyond the seed.
+//
+// A noiseless channel returns candidates with Group unchanged and a
+// Membership that is exactly one-hot at the true group (mass 1.0, the
+// result of x/x division), so rankings and hard-label metrics computed
+// from the output are bit-identical to the uncorrupted pool's.
+func (n NoiseSpec) Apply(pool []fairrank.Candidate) ([]fairrank.Candidate, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	universe, prior, err := poolMarginal(pool)
+	if err != nil {
+		return nil, err
+	}
+	g := len(universe)
+	if g < 2 && n.Flip > 0 {
+		return nil, fmt.Errorf("scenario: flip noise needs ≥ 2 groups, pool has %d", g)
+	}
+	index := make(map[string]int, g)
+	for i, name := range universe {
+		index[name] = i
+	}
+	rng := rand.New(rand.NewSource(n.Seed))
+	out := make([]fairrank.Candidate, len(pool))
+	for i, c := range pool {
+		truth := index[c.Group]
+		// Fixed three-draw budget per candidate: missing?, flip?, and a
+		// selector reused for either the imputation or the flip target.
+		uMissing := rng.Float64()
+		uFlip := rng.Float64()
+		uPick := rng.Float64()
+
+		obs := truth
+		missing := uMissing < n.Missing
+		switch {
+		case missing:
+			obs = drawMarginal(prior, uPick)
+		case uFlip < n.Flip:
+			// Uniform over the g−1 other groups.
+			obs = int(uPick * float64(g-1))
+			if obs >= g-1 { // uPick == 1−ε rounding guard
+				obs = g - 2
+			}
+			if obs >= truth {
+				obs++
+			}
+		}
+
+		membership := make(map[string]float64, g)
+		if missing {
+			// The observation is uninformative: posterior = prior.
+			for j, name := range universe {
+				membership[name] = prior[j]
+			}
+		} else {
+			// posterior(t) ∝ prior(t) · P(obs | true = t) with the
+			// symmetric channel P(o|t) = (1−ρ)·1{o=t} + ρ/(g−1)·1{o≠t}.
+			// The constant (1−μ) observation factor cancels.
+			post := make([]float64, g)
+			var z float64
+			for t := 0; t < g; t++ {
+				like := n.Flip / float64(g-1)
+				if g == 1 {
+					like = 0
+				}
+				if t == obs {
+					like = 1 - n.Flip
+				}
+				post[t] = prior[t] * like
+				z += post[t]
+			}
+			if !(z > 0) {
+				return nil, fmt.Errorf("scenario: noise posterior for candidate %q has zero mass", c.ID)
+			}
+			for t := 0; t < g; t++ {
+				membership[universe[t]] = post[t] / z
+			}
+		}
+
+		c.Group = universe[obs]
+		c.Membership = membership
+		out[i] = c
+	}
+	return out, nil
+}
+
+// poolMarginal returns the sorted group universe of the pool and the
+// empirical marginal over it.
+func poolMarginal(pool []fairrank.Candidate) ([]string, []float64, error) {
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("scenario: noise channel applied to empty pool")
+	}
+	counts := make(map[string]int)
+	for _, c := range pool {
+		if c.Group == "" {
+			return nil, nil, fmt.Errorf("scenario: candidate %q has no group, cannot corrupt", c.ID)
+		}
+		counts[c.Group]++
+	}
+	universe := make([]string, 0, len(counts))
+	for name := range counts {
+		universe = append(universe, name)
+	}
+	sort.Strings(universe)
+	prior := make([]float64, len(universe))
+	for i, name := range universe {
+		prior[i] = float64(counts[name]) / float64(len(pool))
+	}
+	return universe, prior, nil
+}
+
+// drawMarginal inverts the marginal CDF at u ∈ [0,1).
+func drawMarginal(prior []float64, u float64) int {
+	var cum float64
+	for g, p := range prior {
+		cum += p
+		if u < cum {
+			return g
+		}
+	}
+	return len(prior) - 1
+}
+
+// NoiseLevels is the default degradation-sweep grid: the noiseless
+// anchor plus two corrupted levels. Conformance and the soak CLI use it
+// when the caller does not pick levels explicitly.
+func NoiseLevels(seed int64) []NoiseSpec {
+	return []NoiseSpec{
+		{Flip: 0, Missing: 0, Seed: seed},
+		{Flip: 0.1, Missing: 0.05, Seed: seed},
+		{Flip: 0.25, Missing: 0.15, Seed: seed},
+	}
+}
+
+// observedMembershipSanity double-checks a posterior row sums to 1
+// within the tolerance fairrank enforces; used by tests.
+func observedMembershipSanity(m map[string]float64) error {
+	var sum float64
+	for name, p := range m {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("scenario: membership[%q] = %v", name, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("scenario: membership sums to %v", sum)
+	}
+	return nil
+}

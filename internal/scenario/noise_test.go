@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoiseSpecValidate(t *testing.T) {
+	good := []NoiseSpec{{}, {Flip: 0.5}, {Missing: 1}, {Flip: 1, Missing: 1}}
+	for _, n := range good {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", n, err)
+		}
+	}
+	bad := []NoiseSpec{
+		{Flip: -0.1}, {Flip: 1.1}, {Flip: math.NaN()},
+		{Missing: -0.1}, {Missing: 1.1}, {Missing: math.NaN()},
+	}
+	for _, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("%+v accepted", n)
+		}
+	}
+}
+
+func TestNoiseZeroIsIdentityWithOneHotPosterior(t *testing.T) {
+	spec := Spec{Name: "z", N: 40, Groups: 3, Seed: 7}
+	pool, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NoiseSpec{Seed: 9}.Apply(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range out {
+		if c.Group != pool[i].Group || c.ID != pool[i].ID || c.Score != pool[i].Score {
+			t.Fatalf("zero noise changed candidate %d: %+v vs %+v", i, c, pool[i])
+		}
+		// The posterior must be exactly one-hot: mass 1.0 at the true
+		// group, 0.0 elsewhere — not approximately.
+		for name, p := range c.Membership {
+			want := 0.0
+			if name == pool[i].Group {
+				want = 1.0
+			}
+			if p != want {
+				t.Fatalf("zero-noise posterior[%q] = %v, want %v", name, p, want)
+			}
+		}
+		if err := observedMembershipSanity(c.Membership); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The input pool must not have been mutated.
+	for i, c := range pool {
+		if c.Membership != nil {
+			t.Fatalf("Apply mutated input candidate %d: %+v", i, c)
+		}
+	}
+}
+
+func TestNoiseIsReplayable(t *testing.T) {
+	spec := Spec{Name: "r", N: 60, Groups: 4, Seed: 11}
+	pool, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NoiseSpec{Flip: 0.3, Missing: 0.2, Seed: 13}
+	a, err := n.Apply(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Apply(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Group != b[i].Group {
+			t.Fatalf("replay diverged at candidate %d: %q vs %q", i, a[i].Group, b[i].Group)
+		}
+		for name, p := range a[i].Membership {
+			if b[i].Membership[name] != p {
+				t.Fatalf("replay posterior diverged at candidate %d group %q", i, name)
+			}
+		}
+	}
+	other, err := NoiseSpec{Flip: 0.3, Missing: 0.2, Seed: 14}.Apply(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Group != other[i].Group {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds corrupted identically")
+	}
+}
+
+func TestNoiseFlipRateEmpirical(t *testing.T) {
+	spec := Spec{Name: "f", N: 5000, Groups: 2, Seed: 17}
+	pool, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NoiseSpec{Flip: 0.25, Seed: 19}.Apply(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := range out {
+		if out[i].Group != pool[i].Group {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(len(out))
+	if math.Abs(rate-0.25) > 0.03 {
+		t.Fatalf("empirical flip rate %v far from 0.25", rate)
+	}
+	for i := range out {
+		if err := observedMembershipSanity(out[i].Membership); err != nil {
+			t.Fatalf("candidate %d: %v", i, err)
+		}
+	}
+}
+
+func TestNoiseMissingPosteriorIsPrior(t *testing.T) {
+	// Missing = 1: every label is imputed and every posterior must equal
+	// the pool marginal exactly.
+	spec := Spec{Name: "m", N: 200, Groups: 3, Proportions: []float64{0.5, 0.3, 0.2}, Seed: 23}
+	pool, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe, prior, err := poolMarginal(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NoiseSpec{Missing: 1, Seed: 29}.Apply(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for g, name := range universe {
+			if out[i].Membership[name] != prior[g] {
+				t.Fatalf("candidate %d posterior[%q] = %v, want prior %v", i, name, out[i].Membership[name], prior[g])
+			}
+		}
+	}
+}
+
+func TestNoiseErrors(t *testing.T) {
+	if _, err := (NoiseSpec{Flip: 2}).Apply(nil); err == nil {
+		t.Error("accepted out-of-range flip")
+	}
+	if _, err := (NoiseSpec{}).Apply(nil); err == nil {
+		t.Error("accepted empty pool")
+	}
+	oneGroup := Spec{Name: "o", N: 10, Groups: 1, Seed: 31}
+	pool, err := oneGroup.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (NoiseSpec{Flip: 0.5}).Apply(pool); err == nil {
+		t.Error("accepted flip noise over a single group")
+	}
+	if _, err := (NoiseSpec{Missing: 0.5}).Apply(pool); err != nil {
+		t.Errorf("missingness over a single group should work: %v", err)
+	}
+}
+
+func TestNoiseLevelsGrid(t *testing.T) {
+	levels := NoiseLevels(42)
+	if len(levels) < 3 {
+		t.Fatalf("%d levels, want ≥ 3 for a degradation curve", len(levels))
+	}
+	if !levels[0].IsZero() {
+		t.Fatalf("first level %+v is not the noiseless anchor", levels[0])
+	}
+	for i, l := range levels {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("level %d: %v", i, err)
+		}
+		if i > 0 && l.IsZero() {
+			t.Fatalf("level %d is a duplicate noiseless anchor", i)
+		}
+		if l.Seed != 42 {
+			t.Fatalf("level %d seed %d, want 42", i, l.Seed)
+		}
+	}
+}

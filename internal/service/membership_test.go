@@ -1,0 +1,123 @@
+package service
+
+// Wire-level behavior of the probabilistic membership field: a request
+// with memberships gains the "probabilistic" diagnostics object, a
+// hard-label request must not grow one (response-shape compatibility),
+// and one-hot memberships reproduce the deterministic audit exactly.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func rankBody(t *testing.T, body string) RankResponse {
+	t.Helper()
+	rec := serve(t, http.MethodPost, "/v1/rank", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RankResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+const softCandidatesJSON = `[
+	{"id":"a","score":4,"group":"x","membership":{"x":0.7,"y":0.3}},
+	{"id":"b","score":3,"group":"x","membership":{"x":0.6,"y":0.4}},
+	{"id":"c","score":2,"group":"y","membership":{"x":0.2,"y":0.8}},
+	{"id":"d","score":1,"group":"y"}
+]`
+
+func TestWireMembershipAddsProbabilisticDiagnostics(t *testing.T) {
+	resp := rankBody(t, `{"candidates": `+softCandidatesJSON+`, "algorithm": "score", "seed": 1}`)
+	pd := resp.Diagnostics.Probabilistic
+	if pd == nil {
+		t.Fatal("membership request returned no probabilistic diagnostics")
+	}
+	if pd.ExpectedPPfair < 0 || pd.ExpectedPPfair > 100 {
+		t.Fatalf("expected_ppfair = %v", pd.ExpectedPPfair)
+	}
+	if pd.ExpectedDisparateExposure < 0 || pd.ExpectedDisparateExposure > 1 {
+		t.Fatalf("expected_disparate_exposure = %v", pd.ExpectedDisparateExposure)
+	}
+}
+
+func TestWireHardLabelsOmitProbabilistic(t *testing.T) {
+	rec := serve(t, http.MethodPost, "/v1/rank", `{"candidates": `+candidatesJSON+`, "seed": 1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), "probabilistic") {
+		t.Fatal("hard-label response serialized a probabilistic block")
+	}
+}
+
+func TestWireOneHotMembershipMatchesDeterministicAudit(t *testing.T) {
+	hard := rankBody(t, `{"candidates": [
+		{"id":"a","score":4,"group":"x"},{"id":"b","score":3,"group":"x"},
+		{"id":"c","score":2,"group":"y"},{"id":"d","score":1,"group":"y"}
+	], "algorithm": "score", "seed": 5}`)
+	soft := rankBody(t, `{"candidates": [
+		{"id":"a","score":4,"group":"x","membership":{"x":1}},{"id":"b","score":3,"group":"x","membership":{"x":1}},
+		{"id":"c","score":2,"group":"y","membership":{"y":1}},{"id":"d","score":1,"group":"y","membership":{"y":1}}
+	], "algorithm": "score", "seed": 5}`)
+	for i := range hard.Ranking {
+		if hard.Ranking[i].ID != soft.Ranking[i].ID {
+			t.Fatalf("one-hot membership changed the ranking at %d", i)
+		}
+	}
+	pd := soft.Diagnostics.Probabilistic
+	if pd == nil {
+		t.Fatal("one-hot request returned no probabilistic diagnostics")
+	}
+	if pd.ExpectedPPfair != hard.Diagnostics.PPfair {
+		t.Fatalf("expected_ppfair %v != ppfair %v", pd.ExpectedPPfair, hard.Diagnostics.PPfair)
+	}
+	if pd.ExpectedInfeasibleIndex != hard.Diagnostics.InfeasibleIndex {
+		t.Fatalf("expected_infeasible_index %d != infeasible_index %d",
+			pd.ExpectedInfeasibleIndex, hard.Diagnostics.InfeasibleIndex)
+	}
+}
+
+func TestWireCatalogAdvertisesMembership(t *testing.T) {
+	rec := serve(t, http.MethodGet, "/v1/algorithms", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var cat CatalogResponse
+	if err := json.NewDecoder(rec.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Membership.Description == "" {
+		t.Fatal("catalog has no membership description")
+	}
+	found := false
+	for _, m := range cat.Membership.Metrics {
+		if m == "expected_ppfair" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("catalog membership metrics %v lack expected_ppfair", cat.Membership.Metrics)
+	}
+	// The new sampler must be in the served catalog with honest flags.
+	var expost *AlgorithmInfo
+	for i := range cat.Algorithms {
+		if cat.Algorithms[i].Name == "expost-fair" {
+			expost = &cat.Algorithms[i]
+		}
+	}
+	if expost == nil {
+		t.Fatal("expost-fair missing from the served catalog")
+	}
+	if expost.Deterministic || expost.AttributeBlind || !expost.ReadsGroup {
+		t.Fatalf("expost-fair flags wrong: %+v", *expost)
+	}
+	if expost.MinMeanPPfair < 99 {
+		t.Fatalf("expost-fair advertises PPfair floor %v, want ≥ 99", expost.MinMeanPPfair)
+	}
+}

@@ -424,7 +424,7 @@ func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int, bo
 	defer s.queue.ReleaseSlots(workers)
 	cands := make([]fairrank.Candidate, len(req.Candidates))
 	for i, c := range req.Candidates {
-		cands[i] = fairrank.Candidate{ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
+		cands[i] = fairrank.Candidate{ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs, Membership: c.Membership}
 	}
 	res, err := ranker.DoParallel(ctx, fairrank.Request{
 		Candidates: cands,
@@ -469,6 +469,14 @@ func (s *Service) rank(ctx context.Context, req *RankRequest, maxWorkers int, bo
 			InfeasibleIndex:   d.InfeasibleIndex,
 		},
 	}
+	if d.Probabilistic != nil {
+		resp.Diagnostics.Probabilistic = &ProbDiagnostics{
+			ExpectedPPfair:            d.Probabilistic.ExpectedPPfair,
+			ExpectedInfeasibleIndex:   d.Probabilistic.ExpectedInfeasibleIndex,
+			ExpectedDisparateExposure: d.Probabilistic.ExpectedDisparateExposure,
+			ExpectedExposureGap:       d.Probabilistic.ExpectedExposureGap,
+		}
+	}
 	for i, c := range res.Ranking {
 		resp.Ranking[i] = RankedCandidate{Rank: i + 1, ID: c.ID, Score: c.Score, Group: c.Group, Attrs: c.Attrs}
 	}
@@ -492,6 +500,21 @@ func (s *Service) validate(req *RankRequest) error {
 			return invalidf("duplicate candidate id %q", c.ID)
 		}
 		seen[c.ID] = true
+		if c.Membership != nil {
+			var sum float64
+			for name, p := range c.Membership {
+				if name == "" {
+					return invalidf("candidate %q membership names an empty group", c.ID)
+				}
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					return invalidf("candidate %q membership for group %q = %v, want in [0,1]", c.ID, name, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return invalidf("candidate %q membership sums to %v, want 1", c.ID, sum)
+			}
+		}
 	}
 	if req.Theta != nil && !(*req.Theta >= 0) {
 		return invalidf("theta = %v, want ≥ 0", *req.Theta)
@@ -635,6 +658,10 @@ func Catalog() *CatalogResponse {
 			WeakK:     "min(10, n)",
 			Sigma:     0,
 			TopK:      "full ranking",
+		},
+		Membership: MembershipInfo{
+			Description: "optional per-candidate distribution over group names (values in [0,1] summing to 1); keys join the group universe, one-hot rows reproduce the deterministic audit bit for bit",
+			Metrics:     []string{"expected_ppfair", "expected_infeasible_index", "expected_disparate_exposure", "expected_exposure_gap"},
 		},
 	}
 }

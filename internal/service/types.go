@@ -13,6 +13,12 @@ type Candidate struct {
 	Group string `json:"group"`
 	// Attrs carries additional attribute values, echoed back unchanged.
 	Attrs map[string]string `json:"attrs,omitempty"`
+	// Membership optionally states a probability distribution over group
+	// names (probabilistic protected attribute). Values must be finite,
+	// in [0, 1], and sum to 1 (±1e-9); keys join the group universe.
+	// When any candidate carries one, the response diagnostics include
+	// the expected-fairness audit.
+	Membership map[string]float64 `json:"membership,omitempty"`
 }
 
 // RankRequest asks for one fair ranking. Omitted fields take the
@@ -119,6 +125,22 @@ type Diagnostics struct {
 	// InfeasibleIndex is the Two-Sided Infeasible Index (Definition 3)
 	// over the first TopK prefixes.
 	InfeasibleIndex int `json:"infeasible_index"`
+	// Probabilistic carries the expected-fairness audit; present only
+	// when at least one request candidate stated a membership
+	// distribution, so hard-label responses are byte-identical to
+	// pre-membership servers.
+	Probabilistic *ProbDiagnostics `json:"probabilistic,omitempty"`
+}
+
+// ProbDiagnostics is the wire form of fairrank.ProbDiagnostics: the
+// delivered ranking audited against the candidates' membership
+// distributions, with expected prefix counts in place of hard tallies.
+// One-hot memberships reproduce ppfair/infeasible_index bit for bit.
+type ProbDiagnostics struct {
+	ExpectedPPfair            float64 `json:"expected_ppfair"`
+	ExpectedInfeasibleIndex   int     `json:"expected_infeasible_index"`
+	ExpectedDisparateExposure float64 `json:"expected_disparate_exposure"`
+	ExpectedExposureGap       float64 `json:"expected_exposure_gap"`
 }
 
 // BatchRequest bundles independent ranking requests to run concurrently.
@@ -362,6 +384,20 @@ type CatalogResponse struct {
 	Centrals   []OptionInfo    `json:"centrals"`
 	Criteria   []OptionInfo    `json:"criteria"`
 	Defaults   DefaultsInfo    `json:"defaults"`
+	// Membership describes the probabilistic-membership surface: what
+	// the optional candidate "membership" field accepts and which
+	// diagnostics it unlocks.
+	Membership MembershipInfo `json:"membership"`
+}
+
+// MembershipInfo documents the probabilistic protected attribute: the
+// candidate-level "membership" field and the expected-fairness metrics
+// it adds to the response diagnostics.
+type MembershipInfo struct {
+	// Description summarizes the field's contract.
+	Description string `json:"description"`
+	// Metrics lists the diagnostics keys a membership request adds.
+	Metrics []string `json:"metrics"`
 }
 
 // AlgorithmInfo is the wire form of the fairrank registry metadata of

@@ -77,6 +77,14 @@ func TestWireValidationErrorsExact(t *testing.T) {
 			`invalid request: fairrank: unknown criterion "vibes"`},
 		{"unknown noise", `{"candidates": ` + candidatesJSON + `, "noise": "fog"}`,
 			`invalid request: fairrank: unknown noise "fog"`},
+		{"membership empty group", `{"candidates": [{"id":"a","score":2,"group":"x","membership":{"":1}},{"id":"b","score":1,"group":"y"}]}`,
+			`invalid request: candidate "a" membership names an empty group`},
+		{"membership negative", `{"candidates": [{"id":"a","score":2,"group":"x","membership":{"x":-0.5}},{"id":"b","score":1,"group":"y"}]}`,
+			`invalid request: candidate "a" membership for group "x" = -0.5, want in [0,1]`},
+		{"membership above one", `{"candidates": [{"id":"a","score":2,"group":"x","membership":{"x":1.25}},{"id":"b","score":1,"group":"y"}]}`,
+			`invalid request: candidate "a" membership for group "x" = 1.25, want in [0,1]`},
+		{"membership not normalized", `{"candidates": [{"id":"a","score":2,"group":"x","membership":{"x":0.25,"y":0.25}},{"id":"b","score":1,"group":"y"}]}`,
+			`invalid request: candidate "a" membership sums to 0.5, want 1`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,6 +112,24 @@ func TestWireNaNScoreRejected(t *testing.T) {
 		t.Fatal("NaN score accepted")
 	}
 	const want = `invalid request: fairrank: candidate "a" has NaN score`
+	if err.Error() != want {
+		t.Errorf("error = %q, want exactly %q", err, want)
+	}
+}
+
+// TestWireNaNMembershipRejected: like NaN scores, a NaN membership
+// probability can only arrive through the Go API; the validation layer
+// still pins its exact message.
+func TestWireNaNMembershipRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	_, err := s.Rank(t.Context(), &RankRequest{Candidates: []Candidate{
+		{ID: "a", Score: 2, Group: "x", Membership: map[string]float64{"x": math.NaN()}},
+		{ID: "b", Score: 1, Group: "y"},
+	}})
+	if err == nil {
+		t.Fatal("NaN membership accepted")
+	}
+	const want = `invalid request: candidate "a" membership for group "x" = NaN, want in [0,1]`
 	if err.Error() != want {
 		t.Errorf("error = %q, want exactly %q", err, want)
 	}

@@ -1,0 +1,134 @@
+package fairrank
+
+import (
+	"context"
+	"testing"
+)
+
+// softPool lifts pool(n) into fractional memberships: every candidate
+// keeps 80% of its mass on its hard group and spreads 20% on the other.
+func softPool(n int) []Candidate {
+	out := pool(n)
+	for i := range out {
+		other := "b"
+		if out[i].Group == "b" {
+			other = "a"
+		}
+		out[i].Membership = map[string]float64{out[i].Group: 0.8, other: 0.2}
+	}
+	return out
+}
+
+func TestMembershipAddsProbabilisticDiagnostics(t *testing.T) {
+	r, err := NewRanker(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), Request{Candidates: softPool(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := res.Diagnostics.Probabilistic
+	if pd == nil {
+		t.Fatal("membership request returned no probabilistic diagnostics")
+	}
+	if pd.ExpectedPPfair < 0 || pd.ExpectedPPfair > 100 {
+		t.Fatalf("ExpectedPPfair = %v", pd.ExpectedPPfair)
+	}
+	if pd.ExpectedDisparateExposure < 0 || pd.ExpectedDisparateExposure > 1 {
+		t.Fatalf("ExpectedDisparateExposure = %v", pd.ExpectedDisparateExposure)
+	}
+	if pd.ExpectedExposureGap < 0 || pd.ExpectedExposureGap > 1 {
+		t.Fatalf("ExpectedExposureGap = %v", pd.ExpectedExposureGap)
+	}
+
+	// Without membership the block must stay absent: hard-label requests
+	// keep their historical response shape.
+	res, err = r.Do(context.Background(), Request{Candidates: pool(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnostics.Probabilistic != nil {
+		t.Fatal("hard-label request grew probabilistic diagnostics")
+	}
+}
+
+// TestMembershipOneHotMatchesDeterministic: one-hot memberships must
+// reproduce the deterministic audit bit for bit — the library-level face
+// of the fairness layer's one-hot equivalence guarantee.
+func TestMembershipOneHotMatchesDeterministic(t *testing.T) {
+	r, err := NewRanker(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := pool(16)
+	soft := pool(16)
+	for i := range soft {
+		soft[i].Membership = map[string]float64{soft[i].Group: 1}
+	}
+	a, err := r.Do(context.Background(), Request{Candidates: hard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Do(context.Background(), Request{Candidates: soft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Ranking {
+		if a.Ranking[i].ID != b.Ranking[i].ID {
+			t.Fatalf("one-hot membership changed the ranking at %d: %q vs %q", i, a.Ranking[i].ID, b.Ranking[i].ID)
+		}
+	}
+	pd := b.Diagnostics.Probabilistic
+	if pd == nil {
+		t.Fatal("one-hot membership request returned no probabilistic diagnostics")
+	}
+	if pd.ExpectedPPfair != a.Diagnostics.PPfair {
+		t.Fatalf("ExpectedPPfair %v != PPfair %v", pd.ExpectedPPfair, a.Diagnostics.PPfair)
+	}
+	if pd.ExpectedInfeasibleIndex != a.Diagnostics.InfeasibleIndex {
+		t.Fatalf("ExpectedInfeasibleIndex %d != InfeasibleIndex %d", pd.ExpectedInfeasibleIndex, a.Diagnostics.InfeasibleIndex)
+	}
+}
+
+// TestMembershipExtendsGroupUniverse: a group named only inside a
+// Membership map joins the constraint universe even though no candidate
+// carries it as a hard label.
+func TestMembershipExtendsGroupUniverse(t *testing.T) {
+	cands := []Candidate{
+		{ID: "x", Score: 3, Group: "a", Membership: map[string]float64{"a": 0.6, "c": 0.4}},
+		{ID: "y", Score: 2, Group: "a"},
+		{ID: "z", Score: 1, Group: "b"},
+	}
+	r, err := NewRanker(Config{Algorithm: AlgorithmScoreSorted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), Request{Candidates: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnostics.Probabilistic == nil {
+		t.Fatal("no probabilistic diagnostics")
+	}
+	// Group "c" exists only probabilistically; its expected share is
+	// 0.4/3, and the audit must have accounted for three groups without
+	// tripping any internal bounds mismatch (reaching here is the test).
+}
+
+func TestMembershipTopKPrefixAudit(t *testing.T) {
+	r, err := NewRanker(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), Request{Candidates: softPool(20), TopK: iptr(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 5 {
+		t.Fatalf("ranked %d, want 5", len(res.Ranking))
+	}
+	if res.Diagnostics.Probabilistic == nil {
+		t.Fatal("top-k membership request returned no probabilistic diagnostics")
+	}
+}

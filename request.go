@@ -113,6 +113,32 @@ type Diagnostics struct {
 	// InfeasibleIndex is the Two-Sided Infeasible Index (Definition 3)
 	// over the first TopK prefixes.
 	InfeasibleIndex int
+	// Probabilistic carries the expected-fairness audit and is only
+	// present when at least one candidate stated a Membership
+	// distribution; requests with hard labels only are unchanged. When
+	// every Membership is one-hot, its metrics equal the deterministic
+	// PPfair/InfeasibleIndex bit for bit.
+	Probabilistic *ProbDiagnostics
+}
+
+// ProbDiagnostics audits the delivered ranking against the candidates'
+// Membership distributions: each prefix count is the expected number of
+// members under the stated probabilities rather than a hard tally.
+type ProbDiagnostics struct {
+	// ExpectedPPfair is PPfair with expected prefix counts in place of
+	// hard counts, over the first TopK prefixes.
+	ExpectedPPfair float64
+	// ExpectedInfeasibleIndex counts the first TopK prefixes whose
+	// expected counts breach the (α,β) bounds.
+	ExpectedInfeasibleIndex int
+	// ExpectedDisparateExposure is the worst group's expected-exposure
+	// share divided by its expected share of the delivered prefix
+	// (1 = perfectly proportional attention), under the standard
+	// 1/log₂(1+rank) discount.
+	ExpectedDisparateExposure float64
+	// ExpectedExposureGap is the largest |expected exposure share −
+	// expected prefix share| over groups under the same discount.
+	ExpectedExposureGap float64
 }
 
 // Do serves one request: it resolves the request's overrides against the
@@ -681,5 +707,22 @@ func diagnose(in rankers.Instance, cfg Config, out perm.Perm, topK int, score fl
 	}
 	d.InfeasibleIndex = v.TwoSidedAt(topK)
 	d.PPfair = 100 * (1 - float64(d.InfeasibleIndex)/float64(topK))
+	if in.Prob != nil {
+		ev, err := fairness.EvaluateExpectedViolations(pfx, in.Prob, in.Bounds)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		pd := &ProbDiagnostics{ExpectedInfeasibleIndex: ev.TwoSidedAt(topK)}
+		pd.ExpectedPPfair = 100 * (1 - float64(pd.ExpectedInfeasibleIndex)/float64(topK))
+		pd.ExpectedDisparateExposure, err = fairness.ExpectedDisparateExposureAgainst(pfx, in.Prob, nil, fairness.BaselinePrefix)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		pd.ExpectedExposureGap, err = fairness.ExpectedExposureGapAgainst(pfx, in.Prob, nil, fairness.BaselinePrefix)
+		if err != nil {
+			return Diagnostics{}, err
+		}
+		d.Probabilistic = pd
+	}
 	return d, nil
 }

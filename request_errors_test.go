@@ -80,6 +80,21 @@ func TestRequestRejectsExact(t *testing.T) {
 		{"empty group", Request{Candidates: []Candidate{
 			{ID: "x", Score: 2, Group: ""}, {ID: "y", Score: 1, Group: "h"},
 		}}, `fairrank: candidate "x" has empty Group`, nil},
+		{"membership empty group name", Request{Candidates: []Candidate{
+			{ID: "x", Score: 2, Group: "g", Membership: map[string]float64{"": 1}}, {ID: "y", Score: 1, Group: "h"},
+		}}, `fairrank: candidate "x" membership names an empty group`, nil},
+		{"membership NaN", Request{Candidates: []Candidate{
+			{ID: "x", Score: 2, Group: "g", Membership: map[string]float64{"g": math.NaN()}}, {ID: "y", Score: 1, Group: "h"},
+		}}, `fairrank: candidate "x" membership for group "g" is NaN, want in [0,1]`, nil},
+		{"membership negative", Request{Candidates: []Candidate{
+			{ID: "x", Score: 2, Group: "g", Membership: map[string]float64{"g": -0.25}}, {ID: "y", Score: 1, Group: "h"},
+		}}, `fairrank: candidate "x" membership for group "g" is -0.25, want in [0,1]`, nil},
+		{"membership above one", Request{Candidates: []Candidate{
+			{ID: "x", Score: 2, Group: "g", Membership: map[string]float64{"g": 1.5}}, {ID: "y", Score: 1, Group: "h"},
+		}}, `fairrank: candidate "x" membership for group "g" is 1.5, want in [0,1]`, nil},
+		{"membership not normalized", Request{Candidates: []Candidate{
+			{ID: "x", Score: 2, Group: "g", Membership: map[string]float64{"g": 0.5, "h": 0.3}}, {ID: "y", Score: 1, Group: "h"},
+		}}, `fairrank: candidate "x" membership sums to 0.8, want 1`, nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
