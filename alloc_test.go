@@ -23,18 +23,23 @@ func TestDoSteadyStateZeroAllocPerDraw(t *testing.T) {
 	cases := []struct {
 		name      string
 		criterion Criterion
+		noise     Noise // "" = the default Mallows mechanism
 		theta     float64
 		topK      int // 0 = full ranking
 	}{
-		{"ndcg/full", CriterionNDCG, 1.2, 0},
-		{"ndcg/topk", CriterionNDCG, 1.2, 8},
-		{"kt/full", CriterionKT, 1.2, 0},
-		{"kt/topk", CriterionKT, 1.2, 8},
-		{"uniform/topk", CriterionNDCG, 0, 8},
+		{"ndcg/full", CriterionNDCG, "", 1.2, 0},
+		{"ndcg/topk", CriterionNDCG, "", 1.2, 8},
+		{"kt/full", CriterionKT, "", 1.2, 0},
+		{"kt/topk", CriterionKT, "", 1.2, 8},
+		{"uniform/topk", CriterionNDCG, "", 0, 8},
+		{"gmallows/full", CriterionNDCG, NoiseGMallows, 1.2, 0},
+		{"gmallows/topk", CriterionNDCG, NoiseGMallows, 1.2, 8},
+		{"plackett-luce/full", CriterionNDCG, NoisePlackettLuce, 1.2, 0},
+		{"plackett-luce/topk", CriterionNDCG, NoisePlackettLuce, 1.2, 8},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest, Criterion: c.criterion})
+			r, err := NewRanker(Config{Algorithm: AlgorithmMallowsBest, Criterion: c.criterion, Noise: c.noise})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/mallows"
 	"repro/internal/perm"
+	"repro/internal/pl"
 	"repro/internal/quality"
 	"repro/internal/rankdist"
 	"repro/internal/rankers"
@@ -433,6 +434,78 @@ func BenchmarkTopKTruncated(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			out = model.SampleTopKInto(tables, k, out, rng)
+		}
+	})
+}
+
+// BenchmarkPLTopKTruncated is the Plackett–Luce counterpart of
+// BenchmarkTopKTruncated (n = 1e5, k = 10): "full" is the pooled-scratch
+// Gumbel sort over every item, "truncated" the bounded k-slot heap that
+// materializes only the delivered prefix. Both share one log-weight
+// vector and one Scratch, so the numbers isolate the draw; the CI
+// bench-smoke step fails the build if the truncated line disappears or
+// stops beating the full path, and both must report 0 allocs/op.
+func BenchmarkPLTopKTruncated(b *testing.B) {
+	const n, k = 100000, 10
+	logw := make([]float64, n)
+	for i := range logw {
+		logw[i] = -1e-4 * float64(i)
+	}
+	s := pl.NewScratch(n)
+	b.Run("full", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		out := make(perm.Perm, 0, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = pl.SampleLogWeightsInto(logw, out, s, rng)
+		}
+	})
+	b.Run("truncated", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		out := make(perm.Perm, 0, k)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = pl.SampleTopKInto(logw, k, out, s, rng)
+		}
+	})
+}
+
+// BenchmarkGMallowsTopKTruncated covers the third noise axis at the same
+// scale (n = 1e5, k = 10) with the engine's geometric-decay dispersion
+// schedule θ_j = θ·0.97^j: "full" draws through GeneralizedTables over
+// every insertion step, "truncated" keeps the bounded window with
+// precomputed per-step miss thresholds. Gated by CI like the other two
+// axes; 0 allocs/op on both paths.
+func BenchmarkGMallowsTopKTruncated(b *testing.B) {
+	const n, k = 100000, 10
+	thetas := make([]float64, n)
+	for j := range thetas {
+		thetas[j] = 1 * math.Pow(0.97, float64(j))
+	}
+	center := perm.Identity(n)
+	tables, err := mallows.NewGeneralizedTables(thetas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thresh := tables.MissThresholds(k, nil)
+	b.Run("full", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		out := make(perm.Perm, 0, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = tables.SampleInto(center, out, rng)
+		}
+	})
+	b.Run("truncated", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		out := make(perm.Perm, 0, k)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = tables.SampleTopKInto(center, k, thresh, out, rng)
 		}
 	})
 }

@@ -108,6 +108,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "if > 0, keep sending until this much time has passed (overrides -requests)")
 	concurrency := flag.Int("concurrency", 8, "concurrent client goroutines")
 	algorithms := flag.String("algorithms", string(service.Catalog().Defaults.Algorithm), "comma-separated algorithms to rotate through")
+	noise := flag.String("noise", "", "noise mechanism to request (empty uses the server default; algorithms that pin their own mechanism ignore it)")
 	topK := flag.Int("topk", 10, "top_k per request (bounds response size on large pools); 0 requests full rankings")
 	topkFrac := flag.Float64("topk-frac", 1, "fraction of requests carrying -topk; the rest request full rankings, so a mixed run exercises both draw paths")
 	batchEvery := flag.Int("batch-every", 10, "every k-th request goes to /v1/rank/batch (0 disables batches)")
@@ -250,7 +251,7 @@ func main() {
 		log.Printf("spawned fairrankd child (pid %d) at %s with durable jobs in %s", ph.pid(), base, dir)
 	}
 
-	targets, err := buildTargets(specs, strings.Split(*algorithms, ","), *topK)
+	targets, err := buildTargets(specs, strings.Split(*algorithms, ","), *noise, *topK)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -316,8 +317,9 @@ func main() {
 			log.Fatalf("draw-path reconciliation: %v", err)
 		}
 		summary.DrawPathReconciled = true
-		log.Printf("engine draw-path counters reconcile: %d full + %d truncated draws",
-			m.Engine.DrawsFull, m.Engine.DrawsTruncated)
+		summary.TruncatedByNoise = m.Engine.DrawsTruncatedByNoise
+		log.Printf("engine draw-path counters reconcile: %d full + %d truncated draws (per axis: %v)",
+			m.Engine.DrawsFull, m.Engine.DrawsTruncated, m.Engine.DrawsTruncatedByNoise)
 	}
 
 	w := io.Writer(os.Stdout)
@@ -342,24 +344,26 @@ func main() {
 // target is one pre-encoded (spec, algorithm) request template: the
 // candidates are marshaled once per spec, so the load generator's own
 // JSON encoding cost stays off the measured hot path as far as possible.
-// drawsPerItem and mallows come from the fairrank registry and the
-// serving defaults — how many engine draws one ranked item implies and
-// whether they run on the Mallows path (the one with a truncated
-// top-k variant) — so the client can predict the server's draw-path
+// drawsPerItem and truncNoise come from the fairrank registry and the
+// serving defaults — how many engine draws one ranked item implies and,
+// when the resolved noise mechanism has a truncated top-k draw path,
+// its name — so the client can predict the server's per-noise draw-path
 // counters without hardcoding per-algorithm knowledge.
 type target struct {
 	spec         scenario.Spec
 	algorithm    string
+	noise        string // per-request noise override ("" = server default)
 	candidates   json.RawMessage
 	topK         int
 	drawsPerItem int64
-	mallows      bool
+	truncNoise   string // resolved noise name when its draw path truncates, else ""
 }
 
 // wireRequest mirrors service.RankRequest with pre-encoded candidates.
 type wireRequest struct {
 	Candidates json.RawMessage `json:"candidates"`
 	Algorithm  string          `json:"algorithm,omitempty"`
+	Noise      string          `json:"noise,omitempty"`
 	TopK       *int            `json:"top_k,omitempty"`
 	Seed       int64           `json:"seed"`
 }
@@ -368,8 +372,13 @@ type wireBatch struct {
 	Requests []wireRequest `json:"requests"`
 }
 
-func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]target, error) {
+func buildTargets(specs []scenario.Spec, algorithms []string, noiseOverride string, topK int) ([]target, error) {
 	defaults := service.Catalog().Defaults
+	if noiseOverride != "" {
+		if _, ok := fairrank.LookupNoise(noiseOverride); !ok {
+			return nil, fmt.Errorf("-noise %q is not a registered mechanism", noiseOverride)
+		}
+	}
 	var out []target
 	for _, spec := range specs {
 		pool, err := spec.Generate()
@@ -389,12 +398,13 @@ func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]targe
 			if algo == "" {
 				continue
 			}
-			tgt := target{spec: spec, algorithm: algo, candidates: raw, topK: topK}
+			tgt := target{spec: spec, algorithm: algo, noise: noiseOverride, candidates: raw, topK: topK}
 			// Registry-driven draw accounting: strategy algorithms draw
 			// nothing, single-sample mechanisms draw once, best-of
 			// mechanisms draw the serving default Samples per item. The
-			// requests here never override noise, so an unpinned
-			// mechanism resolves to the serving default.
+			// noise resolves like the server does: a pinned mechanism
+			// wins, then the request override, then the serving default;
+			// its registry entry says whether top-k draws truncate.
 			if info, ok := fairrank.LookupAlgorithm(algo); ok && info.Sampling {
 				tgt.drawsPerItem = 1
 				if info.BestOf {
@@ -402,9 +412,14 @@ func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]targe
 				}
 				noise := string(info.Noise)
 				if noise == "" {
+					noise = noiseOverride
+				}
+				if noise == "" {
 					noise = defaults.Noise
 				}
-				tgt.mallows = noise == string(fairrank.NoiseMallows)
+				if ni, ok := fairrank.LookupNoise(noise); ok && ni.Truncated {
+					tgt.truncNoise = noise
+				}
 			}
 			out = append(out, tgt)
 		}
@@ -418,7 +433,8 @@ func buildTargets(specs []scenario.Spec, algorithms []string, topK int) ([]targe
 // sample is one measured request. drawsFull/drawsTrunc are the engine
 // draws the request implies per path if it completes — the client's
 // side of the draw-path ledger (a cancelled or failed request may have
-// contributed anywhere from zero up to that many).
+// contributed anywhere from zero up to that many); truncNoise names the
+// noise axis the truncated draws ran on.
 type sample struct {
 	endpoint   string
 	latency    time.Duration
@@ -426,6 +442,7 @@ type sample struct {
 	failure    string // empty on success
 	drawsFull  int64
 	drawsTrunc int64
+	truncNoise string // noise axis of drawsTrunc, "" when drawsTrunc == 0
 }
 
 // routeCount is the client's own ledger for one server route pattern:
@@ -480,6 +497,12 @@ type Summary struct {
 	// draw-path split landed inside the bounds implied by the client's
 	// per-request draw ledger (spawned runs only).
 	DrawPathReconciled bool `json:"DrawPathReconciled"`
+	// TruncatedByNoise echoes the server's per-noise truncated-draw
+	// counters after they reconciled with the client's ledger, so a CI
+	// gate can assert that a given noise axis actually exercised its
+	// truncated path (spawned runs only; omitted when no draw
+	// truncated).
+	TruncatedByNoise map[string]int64 `json:"TruncatedByNoise,omitempty"`
 	// FleetReconciled reports that the gateway's aggregated /v1/metrics
 	// — route counters, picker decisions, backend lifecycle states, and
 	// the fleet engine view — reconciled with the client's ledger
@@ -601,8 +624,8 @@ func (r *soakRun) pickTopK(tgt target, i int) int {
 
 // send issues request i in the run's mode and stamps the sample with
 // the draws it implies, split by path: the engine truncates exactly
-// when the Mallows sampler runs under a true prefix (k < n — the
-// server clamps k ≥ n to a full ranking).
+// when the resolved noise has a truncated sampler and runs under a
+// true prefix (k < n — the server clamps k ≥ n to a full ranking).
 func (r *soakRun) send(i int, rng *rand.Rand) sample {
 	tgt := r.targets[i%len(r.targets)]
 	k := r.pickTopK(tgt, i)
@@ -618,8 +641,9 @@ func (r *soakRun) send(i int, rng *rand.Rand) sample {
 		s = r.sendSync(i, rng, tgt, k)
 	}
 	draws := int64(items) * tgt.drawsPerItem
-	if tgt.mallows && k > 0 && k < tgt.spec.N {
+	if tgt.truncNoise != "" && k > 0 && k < tgt.spec.N {
 		s.drawsTrunc = draws
+		s.truncNoise = tgt.truncNoise
 	} else {
 		s.drawsFull = draws
 	}
@@ -885,18 +909,28 @@ func (r *soakRun) reconcileMetrics() (*service.MetricsResponse, error) {
 // per path, completed requests give the floor and attempted requests
 // the ceiling (a cancelled or failed request contributes between zero
 // and all of its draws, but never draws on the other path), and the
-// split must sum to the total. Valid against an exclusive in-process
-// server whose ranker cache saw no eviction — both are true of spawned
-// smoke runs.
+// split must sum to the total. The truncated side is additionally held
+// per noise axis: each DrawsTruncatedByNoise counter must land inside
+// the ledger's bounds for that mechanism, and the axes must sum to
+// DrawsTruncated. Valid against an exclusive in-process server whose
+// ranker cache saw no eviction — both are true of spawned smoke runs.
 func (r *soakRun) reconcileDrawPaths(m *service.MetricsResponse) error {
 	var okFull, attFull, okTrunc, attTrunc int64
+	okTruncBy := map[string]int64{}
+	attTruncBy := map[string]int64{}
 	r.mu.Lock()
 	for _, s := range r.samples {
 		attFull += s.drawsFull
 		attTrunc += s.drawsTrunc
+		if s.drawsTrunc > 0 {
+			attTruncBy[s.truncNoise] += s.drawsTrunc
+		}
 		if !s.cancelled && s.failure == "" {
 			okFull += s.drawsFull
 			okTrunc += s.drawsTrunc
+			if s.drawsTrunc > 0 {
+				okTruncBy[s.truncNoise] += s.drawsTrunc
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -913,11 +947,27 @@ func (r *soakRun) reconcileDrawPaths(m *service.MetricsResponse) error {
 		return fmt.Errorf("server counted %d truncated draws, client ledger wants [%d, %d]",
 			e.DrawsTruncated, okTrunc, attTrunc)
 	}
+	var axesSum int64
+	for noise, c := range e.DrawsTruncatedByNoise {
+		axesSum += c
+		if c < okTruncBy[noise] || c > attTruncBy[noise] {
+			return fmt.Errorf("server counted %d truncated draws on %q, client ledger wants [%d, %d]",
+				c, noise, okTruncBy[noise], attTruncBy[noise])
+		}
+	}
+	if axesSum != e.DrawsTruncated {
+		return fmt.Errorf("per-noise truncation axes sum to %d, total is %d", axesSum, e.DrawsTruncated)
+	}
+	for noise, ok := range okTruncBy {
+		if ok > 0 && e.DrawsTruncatedByNoise[noise] == 0 {
+			return fmt.Errorf("client completed %d truncated draws on %q, server counted none", ok, noise)
+		}
+	}
 	return nil
 }
 
 func (r *soakRun) singleBody(tgt target, i, k int) []byte {
-	w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Seed: r.seed + int64(i)}
+	w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Noise: tgt.noise, Seed: r.seed + int64(i)}
 	if k > 0 {
 		w.TopK = &k
 	}
@@ -928,7 +978,7 @@ func (r *soakRun) singleBody(tgt target, i, k int) []byte {
 func (r *soakRun) batchBody(tgt target, i, k int) []byte {
 	batch := wireBatch{Requests: make([]wireRequest, r.batchSize)}
 	for j := range batch.Requests {
-		w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Seed: r.seed + int64(i)*1000 + int64(j)}
+		w := wireRequest{Candidates: tgt.candidates, Algorithm: tgt.algorithm, Noise: tgt.noise, Seed: r.seed + int64(i)*1000 + int64(j)}
 		if k > 0 {
 			w.TopK = &k
 		}

@@ -186,6 +186,12 @@ func (g *Gateway) Metrics(ctx context.Context) *MetricsResponse {
 			e.Draws += m.Engine.Draws
 			e.DrawsFull += m.Engine.DrawsFull
 			e.DrawsTruncated += m.Engine.DrawsTruncated
+			for noise, c := range m.Engine.DrawsTruncatedByNoise {
+				if e.DrawsTruncatedByNoise == nil {
+					e.DrawsTruncatedByNoise = make(map[string]int64)
+				}
+				e.DrawsTruncatedByNoise[noise] += c
+			}
 			e.PoolGets += m.Engine.PoolGets
 			e.PoolMisses += m.Engine.PoolMisses
 			e.TableHits += m.Engine.TableHits

@@ -93,3 +93,58 @@ func FuzzSampleTopKPrefix(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGeneralizedTopKPrefix fuzzes the per-step-θ truncated sampler
+// against the table-backed full draw: any (n, k, θ₀, decay, seed) —
+// interpreted as the geometric schedule θ_j = θ₀·decay^j — must yield a
+// bit-identical delivered prefix and leave the RNG stream in the same
+// position, with precomputed and inline thresholds alike.
+func FuzzGeneralizedTopKPrefix(f *testing.F) {
+	f.Add(10, 3, 1.0, 0.97, int64(1))
+	f.Add(1, 1, 0.0, 0.5, int64(2))
+	f.Add(64, 64, 0.01, 1.0, int64(3))
+	f.Add(64, 80, 700.0, 0.97, int64(4))
+	f.Add(200, 1, 1e-300, 0.99, int64(5))
+	f.Add(33, 0, 2.5, 0.0, int64(6))
+	f.Fuzz(func(t *testing.T, n, k int, theta, decay float64, seed int64) {
+		if n < 0 || n > 512 || k < 0 || k > 1024 {
+			t.Skip("size out of fuzz range")
+		}
+		if math.IsNaN(theta) || math.IsInf(theta, 0) || theta < 0 {
+			t.Skip("invalid dispersion by contract")
+		}
+		if math.IsNaN(decay) || decay < 0 || decay > 1 {
+			t.Skip("decay outside [0, 1]")
+		}
+		thetas := make([]float64, n)
+		for j := range thetas {
+			thetas[j] = theta * math.Pow(decay, float64(j))
+		}
+		center := perm.Random(n, rand.New(rand.NewSource(seed)))
+		m, err := NewGeneralized(center, thetas)
+		if err != nil {
+			t.Skip("invalid model by contract")
+		}
+		tb := m.Tables()
+		thresh := tb.MissThresholds(k, nil)
+		full := tb.SampleInto(center, make(perm.Perm, 0, n), rand.New(rand.NewSource(seed)))
+		want := min(k, n)
+		for _, th := range [][]float64{thresh, nil} {
+			rngFull := rand.New(rand.NewSource(seed))
+			rngTopK := rand.New(rand.NewSource(seed))
+			tb.SampleInto(center, make(perm.Perm, 0, n), rngFull)
+			got := tb.SampleTopKInto(center, k, th, make(perm.Perm, 0, min(k, n)), rngTopK)
+			if len(got) != want {
+				t.Fatalf("n=%d k=%d θ=%g decay=%g: prefix length %d, want %d", n, k, theta, decay, len(got), want)
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Fatalf("n=%d k=%d θ=%g decay=%g seed=%d: prefix[%d] = %d, full %d", n, k, theta, decay, seed, i, got[i], full[i])
+				}
+			}
+			if a, b := rngFull.Int63(), rngTopK.Int63(); a != b {
+				t.Fatalf("n=%d k=%d θ=%g decay=%g: RNG streams diverged (%d vs %d)", n, k, theta, decay, a, b)
+			}
+		}
+	})
+}

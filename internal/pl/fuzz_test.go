@@ -1,0 +1,79 @@
+package pl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// FuzzPLTopKPrefix fuzzes the bounded-heap truncated sampler against the
+// full Gumbel sort: any (n, k, θ, seed) must yield a bit-identical
+// delivered prefix and leave the RNG stream in the same position. The
+// log-weights follow the engine's −θ·rank schedule; a second vector with
+// ±Inf entries derived from the seed exercises the tie-break path.
+func FuzzPLTopKPrefix(f *testing.F) {
+	f.Add(10, 3, 1.0, int64(1))
+	f.Add(1, 1, 0.0, int64(2))
+	f.Add(64, 64, 0.01, int64(3))
+	f.Add(64, 80, 700.0, int64(4))
+	f.Add(200, 1, 1e-300, int64(5))
+	f.Add(33, 0, 2.5, int64(6))
+	f.Add(513, 7, 0.3, int64(7)) // spans two uniform blocks
+	f.Fuzz(func(t *testing.T, n, k int, theta float64, seed int64) {
+		if n < 0 || n > 1024 || k < 0 || k > 2048 {
+			t.Skip("size out of fuzz range")
+		}
+		if math.IsNaN(theta) {
+			t.Skip("NaN dispersion out of contract (NaN utilities break the total order)")
+		}
+		logw := make([]float64, n)
+		for i := range logw {
+			logw[i] = -theta * float64(i)
+		}
+		tieRng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		tied := make([]float64, n)
+		for i := range tied {
+			switch tieRng.Intn(4) {
+			case 0:
+				tied[i] = math.Inf(1)
+			case 1:
+				tied[i] = math.Inf(-1)
+			default:
+				tied[i] = tieRng.NormFloat64()
+			}
+		}
+		for _, lw := range [][]float64{logw, tied} {
+			hasNaN := false
+			for _, v := range lw {
+				if math.IsNaN(v) {
+					hasNaN = true
+				}
+			}
+			if hasNaN {
+				continue
+			}
+			rngFull := rand.New(rand.NewSource(seed))
+			rngTopK := rand.New(rand.NewSource(seed))
+			full := SampleLogWeights(lw, rngFull)
+			s := NewScratch(n)
+			got := SampleTopKInto(lw, k, make(perm.Perm, 0, n), s, rngTopK)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				t.Fatalf("n=%d k=%d θ=%g: prefix length %d, want %d", n, k, theta, len(got), want)
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Fatalf("n=%d k=%d θ=%g seed=%d: prefix[%d] = %d, full %d", n, k, theta, seed, i, got[i], full[i])
+				}
+			}
+			if a, b := rngFull.Int63(), rngTopK.Int63(); a != b {
+				t.Fatalf("n=%d k=%d θ=%g: RNG streams diverged (%d vs %d)", n, k, theta, a, b)
+			}
+		}
+	})
+}

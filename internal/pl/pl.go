@@ -86,7 +86,10 @@ func (m *Model) Prob(p perm.Perm) (float64, error) {
 
 // Sample draws one ranking by the Gumbel-max trick: item i gets utility
 // ln w_i + Gumbel noise, and the ranking sorts utilities descending —
-// an O(n log n) exact sampler for Plackett–Luce.
+// an O(n log n) exact sampler for Plackett–Luce. Equal utilities (ties
+// occur at ±Inf log-weights, where the Gumbel perturbation cannot
+// separate items) break toward the lower item index, so equal seeds
+// yield one well-defined ranking regardless of the sort algorithm.
 func (m *Model) Sample(rng *rand.Rand) perm.Perm {
 	n := m.N()
 	utilities := make([]float64, n)
@@ -98,7 +101,13 @@ func (m *Model) Sample(rng *rand.Rand) perm.Perm {
 		utilities[i] = math.Log(w) - math.Log(-math.Log(u))
 	}
 	out := perm.Identity(n)
-	sort.Slice(out, func(a, b int) bool { return utilities[out[a]] > utilities[out[b]] })
+	sort.Slice(out, func(a, b int) bool {
+		ua, ub := utilities[out[a]], utilities[out[b]]
+		if ua != ub {
+			return ua > ub
+		}
+		return out[a] < out[b]
+	})
 	return out
 }
 
@@ -108,6 +117,13 @@ func (m *Model) Sample(rng *rand.Rand) perm.Perm {
 // space sidesteps the under/overflow of materializing w = e^{logw} —
 // e.g. exponentially decaying weights over long rankings, where the
 // tail weights round to zero and New would reject them.
+//
+// Equal utilities — possible when logw holds ±Inf entries, which the
+// Gumbel perturbation cannot separate — break toward the lower item
+// index. The tie-break makes the comparator a strict total order, so
+// the drawn ranking is a deterministic function of the consumed
+// uniforms regardless of the sort algorithm (sort.Slice alone is
+// unstable and would leave tied orders unspecified across Go releases).
 func SampleLogWeights(logw []float64, rng *rand.Rand) perm.Perm {
 	utilities := make([]float64, len(logw))
 	for i, lw := range logw {
@@ -118,7 +134,13 @@ func SampleLogWeights(logw []float64, rng *rand.Rand) perm.Perm {
 		utilities[i] = lw - math.Log(-math.Log(u))
 	}
 	out := perm.Identity(len(logw))
-	sort.Slice(out, func(a, b int) bool { return utilities[out[a]] > utilities[out[b]] })
+	sort.Slice(out, func(a, b int) bool {
+		ua, ub := utilities[out[a]], utilities[out[b]]
+		if ua != ub {
+			return ua > ub
+		}
+		return out[a] < out[b]
+	})
 	return out
 }
 

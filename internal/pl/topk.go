@@ -1,0 +1,242 @@
+package pl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/perm"
+)
+
+// uniformBlock is the size of the Scratch's uniform buffer: the samplers
+// pull uniforms from the RNG in blocks of this many, amortizing the
+// per-call overhead of the hot best-of-m loop without changing the
+// stream — the block is filled in item order with the zero-rejection
+// applied per slot, exactly the draws the per-item loop would take.
+const uniformBlock = 512
+
+// Scratch is the pooled per-draw state of the zero-allocation samplers
+// (SampleLogWeightsInto, SampleTopKInto): the uniform block buffer, the
+// Gumbel-perturbed utilities, the k-slot selection heap, and the sorter
+// the full-length path reuses instead of capturing a fresh sort.Slice
+// closure per draw. A Scratch is not safe for concurrent use; pool one
+// per worker. The zero value is usable — buffers grow on first use —
+// but NewScratch pre-sizes them so the steady state never allocates.
+type Scratch struct {
+	uni   []float64 // uniform block buffer
+	util  []float64 // per-item utilities (full-length path)
+	heapU []float64 // top-k heap: utilities
+	heapI []int     // top-k heap: item indices
+	srt   plSorter  // reusable sort.Interface for the full-length path
+}
+
+// NewScratch returns a Scratch pre-sized for pools of up to n items, so
+// draws at any k ≤ n perform no allocation.
+func NewScratch(n int) *Scratch {
+	if n < 0 {
+		n = 0
+	}
+	return &Scratch{
+		uni:   make([]float64, uniformBlock),
+		util:  make([]float64, n),
+		heapU: make([]float64, 0, n),
+		heapI: make([]int, 0, n),
+	}
+}
+
+// fillUniforms block-fills buf with the next len(buf) nonzero uniforms
+// of the stream — exactly the draws the per-item rejection loop takes,
+// in the same order, so block-filled and per-item consumption leave the
+// RNG in the same state.
+func fillUniforms(buf []float64, rng *rand.Rand) {
+	for i := range buf {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		buf[i] = u
+	}
+}
+
+// block returns the scratch uniform buffer, allocating it on first use
+// of a zero-value Scratch.
+func (s *Scratch) block() []float64 {
+	if len(s.uni) == 0 {
+		s.uni = make([]float64, uniformBlock)
+	}
+	return s.uni
+}
+
+// plSorter sorts a permutation descending by per-item utility with ties
+// broken toward the lower item index — the same strict total order
+// SampleLogWeights sorts by. A pointer receiver on a long-lived struct
+// keeps the sort.Sort interface conversion allocation-free.
+type plSorter struct {
+	p    perm.Perm
+	util []float64
+}
+
+func (s *plSorter) Len() int      { return len(s.p) }
+func (s *plSorter) Swap(a, b int) { s.p[a], s.p[b] = s.p[b], s.p[a] }
+func (s *plSorter) Less(a, b int) bool {
+	ua, ub := s.util[s.p[a]], s.util[s.p[b]]
+	if ua != ub {
+		return ua > ub
+	}
+	return s.p[a] < s.p[b]
+}
+
+// SampleLogWeightsInto is SampleLogWeights drawing through pooled
+// scratch: identical stream consumption, identical utilities, identical
+// ranking for equal seeds, but no per-draw make and no sort closure
+// capture — with a pre-sized Scratch and cap(out) ≥ len(logw) a draw
+// performs no allocation. It writes the ranking into out and returns
+// the (possibly reallocated) slice.
+func SampleLogWeightsInto(logw []float64, out perm.Perm, s *Scratch, rng *rand.Rand) perm.Perm {
+	n := len(logw)
+	if cap(s.util) < n {
+		s.util = make([]float64, n)
+	}
+	util := s.util[:n]
+	blk := s.block()
+	for lo := 0; lo < n; lo += len(blk) {
+		hi := lo + len(blk)
+		if hi > n {
+			hi = n
+		}
+		b := blk[:hi-lo]
+		fillUniforms(b, rng)
+		for o, u := range b {
+			util[lo+o] = logw[lo+o] - math.Log(-math.Log(u))
+		}
+	}
+	if cap(out) < n {
+		out = make(perm.Perm, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = i
+	}
+	s.srt.p, s.srt.util = out, util
+	sort.Sort(&s.srt)
+	s.srt.p, s.srt.util = nil, nil
+	return out
+}
+
+// heapWorse reports whether item (u1, i1) ranks strictly below (u2, i2)
+// in the drawn ranking: lower utility, ties toward the higher index —
+// the exact inverse of the plSorter order, so the heap's "worst kept
+// item" is the one the full sort would place last within the prefix.
+func heapWorse(u1 float64, i1 int, u2 float64, i2 int) bool {
+	if u1 != u2 {
+		return u1 < u2
+	}
+	return i1 > i2
+}
+
+// SampleTopKInto draws one Plackett–Luce ranking exactly like
+// SampleLogWeights but materializes only the top-k prefix, writing it
+// into out (reallocated if cap(out) < k) and returning the delivered
+// prefix; k is clamped to [0, len(logw)].
+//
+// It consumes the RNG stream exactly like SampleLogWeights — one
+// nonzero uniform per item, in item-index order — so for equal seeds
+// the delivered prefix is bit-identical to the first k entries of the
+// full draw, and a sequence of draws from one shared stream stays
+// aligned draw for draw with the full path. Every item's Gumbel
+// utility streams through a bounded k-slot min-heap ordered by
+// (utility, index): the root is the weakest kept item, an incoming item
+// replaces it only when it would outrank it, and the final heap drains
+// back-to-front into the prefix. Because the (utility desc, index asc)
+// comparator is a strict total order, the k heap survivors are exactly
+// the first k items of the full stable descending sort, in the same
+// order — O(n + k·log k·log n) expected against the full path's
+// O(n log n), with zero allocations on pooled scratch.
+//
+// logw entries may be ±Inf (ties break by index) but must not be NaN:
+// a NaN utility has no place in the total order, and the heap and the
+// full sort may then disagree on the prefix.
+func SampleTopKInto(logw []float64, k int, out perm.Perm, s *Scratch, rng *rand.Rand) perm.Perm {
+	n := len(logw)
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	if cap(s.heapU) < k {
+		s.heapU = make([]float64, 0, k)
+		s.heapI = make([]int, 0, k)
+	}
+	hu, hi := s.heapU[:0], s.heapI[:0]
+	blk := s.block()
+	for lo := 0; lo < n; lo += len(blk) {
+		bhi := lo + len(blk)
+		if bhi > n {
+			bhi = n
+		}
+		b := blk[:bhi-lo]
+		fillUniforms(b, rng)
+		for o, u := range b {
+			i := lo + o
+			ut := logw[i] - math.Log(-math.Log(u))
+			if len(hu) < k {
+				hu = append(hu, ut)
+				hi = append(hi, i)
+				siftUp(hu, hi, len(hu)-1)
+			} else if k > 0 && heapWorse(hu[0], hi[0], ut, i) {
+				hu[0], hi[0] = ut, i
+				siftDown(hu, hi, 0)
+			}
+		}
+	}
+	s.heapU, s.heapI = hu, hi
+	if cap(out) < k {
+		out = make(perm.Perm, k)
+	}
+	out = out[:k]
+	// Drain worst-first into the tail: the heap pops its items in
+	// ascending rank order, which is the prefix read back to front.
+	for w := len(hu) - 1; w >= 0; w-- {
+		out[w] = hi[0]
+		last := len(hu) - 1
+		hu[0], hi[0] = hu[last], hi[last]
+		hu, hi = hu[:last], hi[:last]
+		siftDown(hu, hi, 0)
+	}
+	return out
+}
+
+// siftUp restores the min-heap invariant (parent worse than children
+// under heapWorse) after appending at index i.
+func siftUp(hu []float64, hi []int, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapWorse(hu[i], hi[i], hu[p], hi[p]) {
+			return
+		}
+		hu[i], hu[p] = hu[p], hu[i]
+		hi[i], hi[p] = hi[p], hi[i]
+		i = p
+	}
+}
+
+// siftDown restores the min-heap invariant after replacing index i.
+func siftDown(hu []float64, hi []int, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(hu) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(hu) && heapWorse(hu[r], hi[r], hu[l], hi[l]) {
+			m = r
+		}
+		if !heapWorse(hu[m], hi[m], hu[i], hi[i]) {
+			return
+		}
+		hu[i], hu[m] = hu[m], hu[i]
+		hi[i], hi[m] = hi[m], hi[i]
+		i = m
+	}
+}

@@ -96,6 +96,12 @@ func (s *Service) Metrics() *MetricsResponse {
 		resp.Engine.Draws += st.Draws
 		resp.Engine.DrawsFull += st.DrawsFull
 		resp.Engine.DrawsTruncated += st.DrawsTruncated
+		for noise, c := range st.DrawsTruncatedByNoise {
+			if resp.Engine.DrawsTruncatedByNoise == nil {
+				resp.Engine.DrawsTruncatedByNoise = make(map[string]int64)
+			}
+			resp.Engine.DrawsTruncatedByNoise[noise] += c
+		}
 		resp.Engine.PoolGets += int64(st.PoolGets)
 		resp.Engine.PoolMisses += int64(st.PoolMisses)
 		resp.Engine.TableHits += st.TableHits

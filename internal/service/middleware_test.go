@@ -197,3 +197,37 @@ func TestRankerStatsDirect(t *testing.T) {
 		t.Errorf("table hits=%d misses=%d, want 2 and 1", st.TableHits, st.TableMisses)
 	}
 }
+
+// Truncated rank requests on each built-in noise axis surface per-noise
+// truncation counters in /v1/metrics, and the axes sum to the total.
+func TestMetricsPerNoiseTruncation(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	for _, noise := range []string{"mallows", "gmallows", "plackett-luce"} {
+		req := &RankRequest{
+			Candidates: pool(30),
+			Noise:      noise,
+			Samples:    ptr(4),
+			TopK:       ptr(5),
+			Seed:       1,
+		}
+		if _, err := s.Rank(t.Context(), req); err != nil {
+			t.Fatalf("%s: %v", noise, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Engine.DrawsTruncated != 12 {
+		t.Fatalf("truncated draws = %d, want 12 (3 requests × 4 samples)", m.Engine.DrawsTruncated)
+	}
+	var sum int64
+	for _, noise := range []string{"mallows", "gmallows", "plackett-luce"} {
+		c := m.Engine.DrawsTruncatedByNoise[noise]
+		if c != 4 {
+			t.Errorf("truncated draws on %s = %d, want 4", noise, c)
+		}
+		sum += c
+	}
+	if sum != m.Engine.DrawsTruncated {
+		t.Errorf("per-noise axes sum to %d, total is %d", sum, m.Engine.DrawsTruncated)
+	}
+}

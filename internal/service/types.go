@@ -356,20 +356,24 @@ type WebhookMetrics struct {
 // engines, plus the cache's own size. DrawsFull and DrawsTruncated
 // split Draws by draw path — full-length reference draws versus the
 // lazy top-k sampler that materializes only the delivered prefix —
-// and always sum to it. PoolGets/PoolMisses count pooled draw-buffer
-// checkouts and the subset that had to allocate; both describe the
-// live ranker cache, so eviction can make them regress between
-// snapshots.
+// and always sum to it. DrawsTruncatedByNoise further splits
+// DrawsTruncated by the noise mechanism that drew them
+// ("mallows", "gmallows", "plackett-luce"); the axes sum to
+// DrawsTruncated and the map is omitted while no truncated draw has
+// happened. PoolGets/PoolMisses count pooled draw-buffer checkouts and
+// the subset that had to allocate; both describe the live ranker cache,
+// so eviction can make them regress between snapshots.
 type EngineMetrics struct {
-	RankersCached  int   `json:"rankers_cached"`
-	Requests       int64 `json:"requests"`
-	Draws          int64 `json:"draws"`
-	DrawsFull      int64 `json:"draws_full"`
-	DrawsTruncated int64 `json:"draws_truncated"`
-	PoolGets       int64 `json:"pool_gets"`
-	PoolMisses     int64 `json:"pool_misses"`
-	TableHits      int64 `json:"table_hits"`
-	TableMisses    int64 `json:"table_misses"`
+	RankersCached         int              `json:"rankers_cached"`
+	Requests              int64            `json:"requests"`
+	Draws                 int64            `json:"draws"`
+	DrawsFull             int64            `json:"draws_full"`
+	DrawsTruncated        int64            `json:"draws_truncated"`
+	DrawsTruncatedByNoise map[string]int64 `json:"draws_truncated_by_noise,omitempty"`
+	PoolGets              int64            `json:"pool_gets"`
+	PoolMisses            int64            `json:"pool_misses"`
+	TableHits             int64            `json:"table_hits"`
+	TableMisses           int64            `json:"table_misses"`
 }
 
 // CatalogResponse answers GET /v1/algorithms: the supported algorithms,

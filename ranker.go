@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/mallows"
 	"repro/internal/perm"
+	"repro/internal/pl"
 	"repro/internal/quality"
 	"repro/internal/rankers"
 )
@@ -51,6 +52,10 @@ type Ranker struct {
 	statDrawsTruncated atomic.Int64
 	statTableHits      atomic.Int64
 	statTableMisses    atomic.Int64
+	// truncByNoise splits statDrawsTruncated by noise mechanism
+	// (Noise → *atomic.Int64); every axis with a truncated draw path
+	// gets its own counter on first use.
+	truncByNoise sync.Map
 
 	// forceFullDraws pins TopK requests to the full-length reference
 	// draw path. Test-only: the equivalence suite uses it to check the
@@ -69,12 +74,20 @@ type RankerStats struct {
 	// requests (0 for deterministic algorithms).
 	Draws int64
 	// DrawsFull and DrawsTruncated split Draws by draw path: full-length
-	// permutations versus lazy top-k prefixes from the truncated Mallows
-	// sampler. DrawsFull + DrawsTruncated == Draws.
+	// permutations versus lazy top-k prefixes from the truncated
+	// samplers (Mallows bounded-window, generalized-Mallows bounded-
+	// window, Plackett–Luce Gumbel top-k). DrawsFull + DrawsTruncated
+	// == Draws.
 	DrawsFull      int64
 	DrawsTruncated int64
+	// DrawsTruncatedByNoise splits DrawsTruncated by the noise mechanism
+	// the draws came from ("mallows", "gmallows", "plackett-luce").
+	// Nil until the first truncated draw; axes sum to DrawsTruncated.
+	DrawsTruncatedByNoise map[string]int64
 	// TableHits and TableMisses count lookups of the amortized
-	// per-(n, θ) Mallows table cache: a miss paid the table build.
+	// per-(n, θ) size-state cache: a miss paid the state build (each
+	// noise axis's displacement tables are then built lazily within the
+	// entry, once per axis).
 	TableHits   int64
 	TableMisses int64
 	// PoolGets and PoolMisses count scratch-permutation checkouts across
@@ -103,7 +116,26 @@ func (r *Ranker) Stats() RankerStats {
 		s.PoolMisses += int64(misses)
 		return true
 	})
+	r.truncByNoise.Range(func(k, v any) bool {
+		if c := v.(*atomic.Int64).Load(); c != 0 {
+			if s.DrawsTruncatedByNoise == nil {
+				s.DrawsTruncatedByNoise = make(map[string]int64)
+			}
+			s.DrawsTruncatedByNoise[string(k.(Noise))] = c
+		}
+		return true
+	})
 	return s
+}
+
+// truncCounter returns the per-noise truncated-draw counter, creating
+// it on first use.
+func (r *Ranker) truncCounter(noise Noise) *atomic.Int64 {
+	if v, ok := r.truncByNoise.Load(noise); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := r.truncByNoise.LoadOrStore(noise, new(atomic.Int64))
+	return v.(*atomic.Int64)
 }
 
 // maxSizeStates caps the per-(n, θ) cache: a size-state costs O(n)
@@ -121,15 +153,73 @@ type sizeKey struct {
 	theta float64
 }
 
-// sizeState is the Mallows-mechanism state reusable across requests of
-// one pool size and dispersion. The DCG discount table lives in its own
-// n-keyed cache (discountsFor): every mechanism and criterion shares it,
-// and generic-noise traffic with varied θ must not evict warm Mallows
-// tables it never samples from.
+// sizeState is the draw-path state reusable across requests of one pool
+// size and dispersion: the shared permutation scratch pool plus, per
+// noise axis, lazily built displacement tables and sampler scratch. The
+// axes build on first use — PL-only traffic never pays for Mallows
+// tables and vice versa — and each builds at most once per state. The
+// DCG discount table lives in its own n-keyed cache (discountsFor):
+// every mechanism and criterion shares it, and generic-noise traffic
+// with varied θ must not evict warm tables it never samples from.
 type sizeState struct {
-	tables  *mallows.Tables
+	key     sizeKey
 	scratch *perm.Pool
+	// floats recycles *[]float64 scratch of capacity n+1 — Plackett–Luce
+	// log-weight vectors and generalized-Mallows miss-threshold tables,
+	// built once per request and shared read-only across its workers.
+	floats sync.Pool
+	// pls recycles *pl.Scratch (utilities, uniform blocks, top-k heap);
+	// one per worker on the Plackett–Luce draw path.
+	pls sync.Pool
+
+	mallowsOnce sync.Once
+	mallowsTab  *mallows.Tables
+	mallowsErr  error
+
+	gmOnce sync.Once
+	gmTab  *mallows.GeneralizedTables
+	gmErr  error
 }
+
+func newSizeState(key sizeKey) *sizeState {
+	st := &sizeState{key: key, scratch: perm.NewPool(key.n)}
+	st.floats.New = func() any {
+		buf := make([]float64, key.n+1)
+		return &buf
+	}
+	st.pls.New = func() any { return pl.NewScratch(key.n) }
+	return st
+}
+
+// tables returns the fixed-θ Mallows displacement tables, building them
+// on first use.
+func (st *sizeState) tables() (*mallows.Tables, error) {
+	st.mallowsOnce.Do(func() {
+		st.mallowsTab, st.mallowsErr = mallows.NewTables(st.key.n, st.key.theta)
+	})
+	return st.mallowsTab, st.mallowsErr
+}
+
+// gtables returns the generalized-Mallows displacement tables for the
+// built-in gmallows geometric-decay schedule θ·gmallowsDecay^j, building
+// them on first use. The schedule expression matches the registry
+// mechanism's exactly, so draws through the tables are bit-identical to
+// the registered sampler's.
+func (st *sizeState) gtables() (*mallows.GeneralizedTables, error) {
+	st.gmOnce.Do(func() {
+		thetas := make([]float64, st.key.n)
+		for j := range thetas {
+			thetas[j] = st.key.theta * math.Pow(gmallowsDecay, float64(j))
+		}
+		st.gmTab, st.gmErr = mallows.NewGeneralizedTables(thetas)
+	})
+	return st.gmTab, st.gmErr
+}
+
+func (st *sizeState) getFloats() *[]float64  { return st.floats.Get().(*[]float64) }
+func (st *sizeState) putFloats(f *[]float64) { st.floats.Put(f) }
+func (st *sizeState) getPL() *pl.Scratch     { return st.pls.Get().(*pl.Scratch) }
+func (st *sizeState) putPL(s *pl.Scratch)    { st.pls.Put(s) }
 
 // NewRanker validates cfg and returns a reusable Ranker. Field semantics
 // and defaults are exactly Config's; cfg.Seed is only a fallback — each
@@ -185,11 +275,29 @@ func (r *Ranker) Config() Config { return r.cfg }
 
 // Warm pre-builds the per-size caches for the given candidate-pool
 // sizes, moving the one-time table construction off the first request.
+// It builds the tables of the noise axis the Ranker's configuration
+// resolves to (the algorithm's pinned mechanism, else Config.Noise);
+// the shared scratch pools warm for every axis either way.
 func (r *Ranker) Warm(sizes ...int) error {
 	for _, n := range sizes {
 		cfg := r.cfg.withDefaults(n)
-		if _, err := r.state(n, cfg.Theta); err != nil {
-			return err
+		st := r.state(n, cfg.Theta)
+		noise := r.entry.info.Noise
+		if noise == "" {
+			noise = cfg.Noise
+		}
+		switch noise {
+		case NoiseGMallows:
+			if _, err := st.gtables(); err != nil {
+				return err
+			}
+		case NoisePlackettLuce:
+			// No tables: the log-weight vector is per-request (it depends
+			// on the central ranking) and draws come from pooled scratch.
+		default:
+			if _, err := st.tables(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -297,28 +405,25 @@ func (r *Ranker) criterionAt(cfg Config, in rankers.Instance, k int) (func() fun
 	}
 }
 
-// state returns the cached per-(n, θ) tables, building them on first
-// use. At maxSizeStates distinct keys an arbitrary existing entry is
-// evicted to make room, keeping memory bounded while letting every key
-// (re-)enter the cache.
-func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
+// state returns the cached per-(n, θ) draw-path state, creating it on
+// first use; each noise axis's tables build lazily inside the entry. At
+// maxSizeStates distinct keys an arbitrary existing entry is evicted to
+// make room, keeping memory bounded while letting every key (re-)enter
+// the cache.
+func (r *Ranker) state(n int, theta float64) *sizeState {
 	key := sizeKey{n: n, theta: theta}
 	if v, ok := r.states.Load(key); ok {
 		r.statTableHits.Add(1)
-		return v.(*sizeState), nil
+		return v.(*sizeState)
 	}
 	r.statTableMisses.Add(1)
-	tab, err := mallows.NewTables(n, theta)
-	if err != nil {
-		return nil, err
-	}
-	st := &sizeState{tables: tab, scratch: perm.NewPool(n)}
+	st := newSizeState(key)
 	r.stateMu.Lock()
 	defer r.stateMu.Unlock()
 	if v, ok := r.states.Load(key); ok {
 		// Another goroutine cached the key while we built; use theirs so
 		// concurrent requests share one scratch pool.
-		return v.(*sizeState), nil
+		return v.(*sizeState)
 	}
 	if r.numStates.Load() >= maxSizeStates {
 		r.states.Range(func(k, _ any) bool {
@@ -329,7 +434,7 @@ func (r *Ranker) state(n int, theta float64) (*sizeState, error) {
 	}
 	r.states.Store(key, st)
 	r.numStates.Add(1)
-	return st, nil
+	return st
 }
 
 // discountsFor returns the cached DCG discount table of pool size n

@@ -3,6 +3,7 @@ package fairrank
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -237,7 +238,7 @@ func TestRankerStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := r.Stats(); st != (RankerStats{}) {
+	if st := r.Stats(); !reflect.DeepEqual(st, RankerStats{}) {
 		t.Fatalf("fresh Ranker has nonzero stats: %+v", st)
 	}
 	for seed := int64(0); seed < 3; seed++ {

@@ -175,6 +175,14 @@ type NoiseInfo struct {
 	Name string
 	// Description summarizes the distribution.
 	Description string
+	// Truncated reports that the engine runs a dedicated truncated draw
+	// path for this mechanism: top-k requests materialize only the
+	// delivered prefix and count as DrawsTruncated. Mechanisms
+	// registered through RegisterNoise draw full-length through the
+	// generic sampler, so only built-ins set it; load harnesses use it
+	// to predict the engine's per-noise draw-path counters without
+	// hardcoding mechanism names.
+	Truncated bool
 }
 
 // NoiseSampler builds a draw function for one request: central is the

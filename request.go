@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fairness"
 	"repro/internal/perm"
+	"repro/internal/pl"
 	"repro/internal/quality"
 	"repro/internal/rankdist"
 	"repro/internal/rankers"
@@ -231,7 +232,8 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 		if noise == "" {
 			noise = cfg.Noise
 		}
-		if noise == NoiseMallows {
+		switch {
+		case noise == NoiseMallows:
 			// The default mechanism keeps its dedicated path: amortized
 			// (n, θ)-keyed insertion tables and pooled scratch buffers,
 			// bit-identical to the pre-registry engine — and, for TopK
@@ -245,7 +247,36 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 				out, score, scored, err = r.sampleSequential(ctx, in, cfg, samples, entry.info.BestOf, topK, truncated, rng)
 				r.rngs.Put(rng)
 			}
-		} else {
+		case noise == NoisePlackettLuce && !r.forceFullDraws:
+			// Dedicated Plackett–Luce path: pooled log-weight and Gumbel
+			// scratch, block-filled uniforms, and — on TopK requests —
+			// the Gumbel top-k sampler. Stream- and bit-identical to the
+			// registry mechanism for equal seeds; forceFullDraws routes
+			// to the generic registry path below as the reference.
+			truncated = topK < len(in.Initial)
+			if workers > 0 && samples > 1 {
+				out, score, scored, err = r.plParallel(ctx, in, cfg, samples, topK, truncated, workers)
+			} else {
+				rng := r.getRNG(cfg.Seed)
+				out, score, scored, err = r.plSequential(ctx, in, cfg, samples, entry.info.BestOf, topK, truncated, rng)
+				r.rngs.Put(rng)
+			}
+		case noise == NoiseGMallows && !r.forceFullDraws:
+			// Dedicated generalized-Mallows path: per-step tables cached
+			// per (n, θ) for the built-in geometric-decay schedule, with
+			// the bounded-window truncated sampler on TopK requests.
+			truncated = topK < len(in.Initial)
+			if workers > 0 && samples > 1 {
+				out, score, scored, err = r.gmParallel(ctx, in, cfg, samples, topK, truncated, workers)
+			} else {
+				rng := r.getRNG(cfg.Seed)
+				out, score, scored, err = r.gmSequential(ctx, in, cfg, samples, entry.info.BestOf, topK, truncated, rng)
+				r.rngs.Put(rng)
+			}
+		default:
+			// Third-party mechanisms — and, under forceFullDraws, the
+			// reference path the built-in fast paths are checked against:
+			// fresh validated draws straight from the noise registry.
 			sampler, serr := lookupSampler(noise)
 			if serr != nil {
 				return nil, 0, false, 0, "", serr
@@ -265,6 +296,7 @@ func (r *Ranker) rankInstance(ctx context.Context, in rankers.Instance, cfg Conf
 		r.statDraws.Add(int64(draws))
 		if truncated {
 			r.statDrawsTruncated.Add(int64(draws))
+			r.truncCounter(noise).Add(int64(draws))
 		} else {
 			r.statDrawsFull.Add(int64(draws))
 		}
@@ -347,36 +379,23 @@ func (r *Ranker) resolve(req Request) (Config, int, error) {
 	return cfg, topK, nil
 }
 
-// sampleSequential runs the amortized best-of-m Mallows loop on one RNG
-// stream: same draws and selection as the pre-registry engine, bit for
-// bit, plus a cancellation check between draws. It returns the chosen
-// ranking and, when a selection criterion ran, its winning score.
-//
-// When truncated is set, each draw goes through the lazy top-k sampler
-// instead of materializing the full permutation; the draws consume the
-// RNG stream identically either way, and the selection criterion is
-// prefix-scoped in both cases, so the two paths pick bit-identical
-// winning prefixes for equal seeds.
-func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, topK int, truncated bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
-	if err := in.Validate(); err != nil {
-		return nil, 0, false, err
-	}
-	st, err := r.state(len(in.Initial), cfg.Theta)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	model := r.model(in, cfg)
+// drawFunc draws one sample into dst — a full-length buffer from the
+// per-size scratch pool — consuming rng, and returns the written
+// ranking: the full permutation, or just the top-k prefix when the
+// truncated path serves the request.
+type drawFunc func(dst perm.Perm, rng *rand.Rand) perm.Perm
+
+// drawSequential runs the amortized best-of-m loop on one RNG stream
+// for any dedicated draw path: same selection as the pre-registry
+// engine, bit for bit, plus a cancellation check between draws. It
+// returns the chosen ranking and, when a selection criterion ran, its
+// winning score.
+func (r *Ranker) drawSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, topK int, pool *perm.Pool, draw drawFunc, rng *rand.Rand) (perm.Perm, float64, bool, error) {
 	// The scratch pool hands out full-length buffers; the truncated path
 	// just fills fewer slots of the same recycled buffers.
-	cur, best := st.scratch.Get(), st.scratch.Get()
-	defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
-	draw := func(dst perm.Perm) perm.Perm {
-		if truncated {
-			return model.SampleTopKInto(st.tables, topK, dst, rng)
-		}
-		return model.SampleInto(st.tables, dst, rng)
-	}
-	best = draw(best)
+	cur, best := pool.Get(), pool.Get()
+	defer func() { pool.Put(cur); pool.Put(best) }()
+	best = draw(best, rng)
 	if !bestOf {
 		// Algorithm 1 with m = 1: keep the first (only) draw.
 		return best.Clone(), 0, false, nil
@@ -394,7 +413,7 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 		if err := ctx.Err(); err != nil {
 			return nil, 0, false, err
 		}
-		cur = draw(cur)
+		cur = draw(cur, rng)
 		v, err := score(cur)
 		if err != nil {
 			return nil, 0, false, err
@@ -407,6 +426,101 @@ func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg 
 		}
 	}
 	return best.Clone(), bestScore, true, nil
+}
+
+// sampleSequential runs the best-of-m Mallows loop on one RNG stream:
+// amortized (n, θ) tables, pooled scratch, and — when truncated is
+// set — the lazy top-k sampler instead of the full permutation. The
+// draws consume the RNG stream identically either way, and the
+// selection criterion is prefix-scoped in both cases, so the two paths
+// pick bit-identical winning prefixes for equal seeds.
+func (r *Ranker) sampleSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, topK int, truncated bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st := r.state(len(in.Initial), cfg.Theta)
+	tab, err := st.tables()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	model := r.model(in, cfg)
+	draw := func(dst perm.Perm, rng *rand.Rand) perm.Perm {
+		if truncated {
+			return model.SampleTopKInto(tab, topK, dst, rng)
+		}
+		return model.SampleInto(tab, dst, rng)
+	}
+	return r.drawSequential(ctx, in, cfg, samples, bestOf, topK, st.scratch, draw, rng)
+}
+
+// plSequential runs the best-of-m Plackett–Luce loop on one RNG stream
+// through the dedicated zero-allocation path: the log-weight vector is
+// built once per request on pooled float scratch with the exact
+// registry-mechanism expression, each draw perturbs it with block-
+// filled Gumbel noise on pooled sampler scratch, and TopK requests
+// select through the bounded k-slot heap instead of a full sort. Stream
+// consumption matches the registry sampler draw for draw, so equal
+// seeds yield bit-identical rankings (prefixes, when truncated).
+func (r *Ranker) plSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, topK int, truncated bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st := r.state(len(in.Initial), cfg.Theta)
+	logwBuf := st.getFloats()
+	defer st.putFloats(logwBuf)
+	logw := plLogWeights(*logwBuf, in, cfg.Theta)
+	sc := st.getPL()
+	defer st.putPL(sc)
+	draw := func(dst perm.Perm, rng *rand.Rand) perm.Perm {
+		if truncated {
+			return pl.SampleTopKInto(logw, topK, dst, sc, rng)
+		}
+		return pl.SampleLogWeightsInto(logw, dst, sc, rng)
+	}
+	return r.drawSequential(ctx, in, cfg, samples, bestOf, topK, st.scratch, draw, rng)
+}
+
+// plLogWeights fills buf with the Plackett–Luce log-weights of the
+// instance: the item at central rank rk gets −θ·rk, the exact
+// expression core.PlackettLuceNoise builds, so the dedicated path's
+// Gumbel utilities match the registry reference bit for bit.
+func plLogWeights(buf []float64, in rankers.Instance, theta float64) []float64 {
+	logw := buf[:len(in.Initial)]
+	for rk, item := range in.Initial {
+		logw[item] = -theta * float64(rk)
+	}
+	return logw
+}
+
+// gmSequential runs the best-of-m generalized-Mallows loop on one RNG
+// stream through the dedicated path: per-step displacement tables for
+// the built-in geometric-decay schedule, cached per (n, θ), and — on
+// TopK requests — the bounded-window truncated sampler with its miss
+// thresholds precomputed once per request on pooled float scratch.
+// Stream consumption matches the registry sampler draw for draw, so
+// equal seeds yield bit-identical rankings (prefixes, when truncated).
+func (r *Ranker) gmSequential(ctx context.Context, in rankers.Instance, cfg Config, samples int, bestOf bool, topK int, truncated bool, rng *rand.Rand) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st := r.state(len(in.Initial), cfg.Theta)
+	gt, err := st.gtables()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var thresh []float64
+	if truncated {
+		buf := st.getFloats()
+		defer st.putFloats(buf)
+		thresh = gt.MissThresholds(topK, *buf)
+	}
+	draw := func(dst perm.Perm, rng *rand.Rand) perm.Perm {
+		if truncated {
+			return gt.SampleTopKInto(in.Initial, topK, thresh, dst, rng)
+		}
+		return gt.SampleInto(in.Initial, dst, rng)
+	}
+	return r.drawSequential(ctx, in, cfg, samples, bestOf, topK, st.scratch, draw, rng)
 }
 
 // noiseSequential is sampleSequential for every mechanism beyond the
@@ -545,28 +659,18 @@ func (r *Ranker) noiseParallel(ctx context.Context, in rankers.Instance, cfg Con
 	return winner.p, winner.score, true, nil
 }
 
-// sampleParallel fans the best-of-m draws over up to workers goroutines.
-// Draw i uses its own RNG seeded by mixSeed(seed, i) and score ties
-// break toward the lowest i, so the result depends only on the resolved
-// seed, never on the worker count. Each worker checks ctx between draws.
-//
-// When truncated is set, every worker draws through the lazy top-k
-// sampler; each per-draw derived stream is consumed identically to the
-// full path's, and the prefix-scoped criterion makes the winning prefix
-// bit-identical to the reference path's for equal seeds.
-func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, topK int, truncated bool, workers int) (perm.Perm, float64, bool, error) {
-	if err := in.Validate(); err != nil {
-		return nil, 0, false, err
-	}
-	st, err := r.state(len(in.Initial), cfg.Theta)
-	if err != nil {
-		return nil, 0, false, err
-	}
+// drawParallel fans the best-of-m draws of any dedicated draw path over
+// up to workers goroutines. Draw i uses its own RNG seeded by
+// mixSeed(seed, i) and score ties break toward the lowest i, so the
+// result depends only on the resolved seed, never on the worker count.
+// Each worker checks ctx between draws. mkDraw mints one draw function
+// per worker — private sampler scratch lives in its closure — plus an
+// optional release hook run when the worker finishes.
+func (r *Ranker) drawParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, topK, workers int, pool *perm.Pool, mkDraw func() (drawFunc, func())) (perm.Perm, float64, bool, error) {
 	maker, err := r.criterionAt(cfg, in, topK)
 	if err != nil {
 		return nil, 0, false, err
 	}
-	model := r.model(in, cfg)
 	if workers > samples {
 		workers = samples
 	}
@@ -587,8 +691,12 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 			defer wg.Done()
 			rng := r.rngs.Get().(*rand.Rand)
 			defer r.rngs.Put(rng)
-			cur, best := st.scratch.Get(), st.scratch.Get()
-			defer func() { st.scratch.Put(cur); st.scratch.Put(best) }()
+			cur, best := pool.Get(), pool.Get()
+			defer func() { pool.Put(cur); pool.Put(best) }()
+			d, done := mkDraw()
+			if done != nil {
+				defer done()
+			}
 			score := maker()
 			local := draw{idx: -1}
 			for i := lo; i < hi; i++ {
@@ -597,11 +705,7 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 					return
 				}
 				rng.Seed(mixSeed(cfg.Seed, i))
-				if truncated {
-					cur = model.SampleTopKInto(st.tables, topK, cur, rng)
-				} else {
-					cur = model.SampleInto(st.tables, cur, rng)
-				}
+				cur = d(cur, rng)
 				v, err := score(cur)
 				if err != nil {
 					results[w] = draw{err: err}
@@ -627,6 +731,87 @@ func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Co
 		}
 	}
 	return winner.p, winner.score, true, nil
+}
+
+// sampleParallel fans the best-of-m Mallows draws over up to workers
+// goroutines. When truncated is set, every worker draws through the
+// lazy top-k sampler; each per-draw derived stream is consumed
+// identically to the full path's, and the prefix-scoped criterion makes
+// the winning prefix bit-identical to the reference path's for equal
+// seeds.
+func (r *Ranker) sampleParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, topK int, truncated bool, workers int) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st := r.state(len(in.Initial), cfg.Theta)
+	tab, err := st.tables()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	model := r.model(in, cfg)
+	draw := func(dst perm.Perm, rng *rand.Rand) perm.Perm {
+		if truncated {
+			return model.SampleTopKInto(tab, topK, dst, rng)
+		}
+		return model.SampleInto(tab, dst, rng)
+	}
+	// The Mallows samplers keep no per-worker scratch beyond the pooled
+	// permutation buffers drawParallel already manages.
+	return r.drawParallel(ctx, in, cfg, samples, topK, workers, st.scratch, func() (drawFunc, func()) { return draw, nil })
+}
+
+// plParallel fans the best-of-m Plackett–Luce draws over up to workers
+// goroutines through the dedicated path: the log-weight vector is built
+// once and shared read-only, each worker draws on its own pooled Gumbel
+// scratch, and per-draw derived streams match the generic registry
+// path's draw for draw, so equal seeds yield bit-identical results.
+func (r *Ranker) plParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, topK int, truncated bool, workers int) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st := r.state(len(in.Initial), cfg.Theta)
+	logwBuf := st.getFloats()
+	defer st.putFloats(logwBuf)
+	logw := plLogWeights(*logwBuf, in, cfg.Theta)
+	mk := func() (drawFunc, func()) {
+		sc := st.getPL()
+		d := func(dst perm.Perm, rng *rand.Rand) perm.Perm {
+			if truncated {
+				return pl.SampleTopKInto(logw, topK, dst, sc, rng)
+			}
+			return pl.SampleLogWeightsInto(logw, dst, sc, rng)
+		}
+		return d, func() { st.putPL(sc) }
+	}
+	return r.drawParallel(ctx, in, cfg, samples, topK, workers, st.scratch, mk)
+}
+
+// gmParallel fans the best-of-m generalized-Mallows draws over up to
+// workers goroutines through the dedicated path: the per-step tables
+// and (when truncated) the miss-threshold vector are built once and
+// shared read-only across workers.
+func (r *Ranker) gmParallel(ctx context.Context, in rankers.Instance, cfg Config, samples, topK int, truncated bool, workers int) (perm.Perm, float64, bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	st := r.state(len(in.Initial), cfg.Theta)
+	gt, err := st.gtables()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var thresh []float64
+	if truncated {
+		buf := st.getFloats()
+		defer st.putFloats(buf)
+		thresh = gt.MissThresholds(topK, *buf)
+	}
+	draw := func(dst perm.Perm, rng *rand.Rand) perm.Perm {
+		if truncated {
+			return gt.SampleTopKInto(in.Initial, topK, thresh, dst, rng)
+		}
+		return gt.SampleInto(in.Initial, dst, rng)
+	}
+	return r.drawParallel(ctx, in, cfg, samples, topK, workers, st.scratch, func() (drawFunc, func()) { return draw, nil })
 }
 
 // diagnose assembles the Result diagnostics from state the serving path

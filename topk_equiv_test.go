@@ -99,12 +99,34 @@ func TestTopKMatchesFullPath(t *testing.T) {
 							t.Errorf("n=%d k=%d θ=%g: Sample sweep diverged between truncated and reference paths", d.n, d.k, theta)
 						}
 						// The fast engine must actually have used the
-						// truncated path where it applies: the engine-managed
-						// Mallows mechanism with a true prefix.
+						// truncated path where it applies: any built-in
+						// noise mechanism with a true prefix, not just
+						// Mallows.
 						stats := fast.Stats()
-						mallowsPath := info.Sampling && (info.Noise == NoiseMallows || (info.Noise == "" && Noise(noise) == NoiseMallows))
-						if mallowsPath && d.k < d.n && stats.DrawsTruncated == 0 {
-							t.Errorf("n=%d k=%d: no truncated draws recorded on the Mallows fast path (stats %+v)", d.n, d.k, stats)
+						resolved := info.Noise
+						if info.Sampling && resolved == "" {
+							resolved = Noise(noise)
+						}
+						truncPath := false
+						if info.Sampling {
+							if ni, ok := LookupNoise(string(resolved)); ok {
+								truncPath = ni.Truncated
+							}
+						}
+						if truncPath && d.k < d.n {
+							if stats.DrawsTruncated == 0 {
+								t.Errorf("n=%d k=%d: no truncated draws recorded on the %s fast path (stats %+v)", d.n, d.k, resolved, stats)
+							}
+							if stats.DrawsTruncatedByNoise[string(resolved)] == 0 {
+								t.Errorf("n=%d k=%d: truncated draws not attributed to noise %q (per-noise %v)", d.n, d.k, resolved, stats.DrawsTruncatedByNoise)
+							}
+						}
+						var axes int64
+						for _, c := range stats.DrawsTruncatedByNoise {
+							axes += c
+						}
+						if axes != stats.DrawsTruncated {
+							t.Errorf("per-noise truncation axes sum to %d, total is %d", axes, stats.DrawsTruncated)
 						}
 						if refStats := ref.Stats(); refStats.DrawsTruncated != 0 {
 							t.Errorf("reference path recorded %d truncated draws, want 0", refStats.DrawsTruncated)
